@@ -1,0 +1,115 @@
+// Fig. 3 reproduction: Auto-HPO for data processing — the data-mixing
+// example of Sec. 5.1 with the objective n/N + s, comparing search
+// strategies and reporting per-weight importance (the Fig. 3 parallel-
+// coordinates insight, rendered as a correlation table).
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "hpo/hyperband.h"
+#include "hpo/mixing.h"
+#include "hpo/optimizer.h"
+#include "quality/quality_classifier.h"
+#include "workload/generator.h"
+
+namespace {
+
+using dj::bench::Fmt;
+
+dj::data::Dataset Source(dj::workload::Style style, size_t docs,
+                         double spam, uint64_t seed) {
+  dj::workload::CorpusOptions options;
+  options.style = style;
+  options.num_docs = docs;
+  options.spam_rate = spam;
+  options.seed = seed;
+  return dj::workload::CorpusGenerator(options).Generate();
+}
+
+/// Pearson correlation between a weight dimension and the objective across
+/// observed trials — the "importance score" view of the HPO demo.
+double Correlation(const std::vector<dj::hpo::Trial>& trials,
+                   const std::string& param) {
+  double mx = 0, my = 0;
+  for (const auto& t : trials) {
+    mx += t.params.Get(param);
+    my += t.objective;
+  }
+  mx /= trials.size();
+  my /= trials.size();
+  double sxy = 0, sxx = 0, syy = 0;
+  for (const auto& t : trials) {
+    double dx = t.params.Get(param) - mx;
+    double dy = t.objective - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  return sxx > 0 && syy > 0 ? sxy / std::sqrt(sxx * syy) : 0;
+}
+
+}  // namespace
+
+int main() {
+  dj::bench::Banner(
+      "Figure 3: Auto-HPO for data mixing (objective = n/N + s)",
+      "Fig. 3 / Sec. 5.1 — HPO finds mixture weights; clean sources "
+      "correlate positively with the target metric, spammy ones negatively");
+
+  std::vector<dj::data::Dataset> sources;
+  sources.push_back(Source(dj::workload::Style::kWiki, 180, 0.0, 1));
+  sources.push_back(Source(dj::workload::Style::kWeb, 180, 0.2, 2));
+  sources.push_back(Source(dj::workload::Style::kCrawl, 180, 0.9, 3));
+  dj::hpo::MixingProblem problem(
+      std::move(sources), &dj::quality::QualityClassifier::DefaultGpt3(),
+      dj::hpo::MixingProblem::Options{});
+
+  auto objective = [&](const dj::hpo::ParamSet& p) {
+    return problem.Evaluate(p);
+  };
+
+  dj::Rng rng1(11), rng2(12), rng3(13);
+  dj::hpo::RandomSearch random_search(problem.Space());
+  dj::hpo::Trial random_best =
+      RunOptimization(&random_search, objective, 48, &rng1);
+  dj::hpo::TpeOptimizer tpe(problem.Space());
+  dj::hpo::Trial tpe_best = RunOptimization(&tpe, objective, 48, &rng2);
+  dj::hpo::SuccessiveHalving::Options sh_options;
+  sh_options.initial_configs = 27;
+  sh_options.min_budget = 1.0 / 9;
+  dj::hpo::SuccessiveHalving hyperband(sh_options);
+  dj::hpo::Trial sh_best = hyperband.Run(
+      problem.Space(),
+      [&](const dj::hpo::ParamSet& p, double budget) {
+        return problem.Evaluate(p, budget);
+      },
+      &rng3);
+
+  dj::bench::Table strategies({"strategy", "best_objective", "w_wiki",
+                               "w_web", "w_crawl", "budget_spent"});
+  auto row = [&](const char* name, const dj::hpo::Trial& t, double budget) {
+    strategies.Row({name, Fmt(t.objective, 4), Fmt(t.params.Get("w0")),
+                    Fmt(t.params.Get("w1")), Fmt(t.params.Get("w2")),
+                    Fmt(budget, 1)});
+  };
+  row("random search", random_best, 48);
+  row("TPE", tpe_best, 48);
+  row("successive halving", sh_best, hyperband.total_budget_spent());
+  strategies.Print();
+
+  dj::bench::Table importance({"weight", "corr_with_objective"});
+  const char* names[] = {"w0 (wiki, clean)", "w1 (web, light noise)",
+                         "w2 (crawl, heavy spam)"};
+  for (int i = 0; i < 3; ++i) {
+    importance.Row({names[i],
+                    Fmt(Correlation(random_search.trials(),
+                                    "w" + std::to_string(i)),
+                        3)});
+  }
+  importance.Print();
+  std::printf(
+      "\nexpected shape: TPE >= random search at equal trials; halving\n"
+      "spends a fraction of the budget; correlation positive for clean\n"
+      "sources and smallest/negative for the spam-heavy crawl.\n");
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Fig. 8 reproduction: end-to-end processing performance vs the baseline
+// script pipeline, on Books-like and arXiv-like datasets at several worker
+// counts.
+//
+// Paper: Data-Juicer needs on average 55.6% less time, 63.0% less memory,
+// 52.2% less CPU than the RedPajama scripts (np in {32,64,128}). Here the
+// baseline is src/baseline's row-store eager pipeline running the SAME OPs;
+// np is scaled to {1,2,4} for a single-machine run and memory is the
+// tracked peak of live dataset bytes (process RSS is dominated by the
+// allocator on datasets this small).
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "baseline/naive_pipeline.h"
+#include "common/resource_monitor.h"
+#include "common/stopwatch.h"
+#include "core/executor.h"
+#include "ops/registry.h"
+#include "workload/generator.h"
+
+namespace {
+
+using dj::bench::Fmt;
+using dj::bench::FmtPct;
+
+dj::data::Dataset BooksLike() {
+  dj::workload::CorpusOptions options;
+  options.style = dj::workload::Style::kBooks;
+  options.num_docs = 500;
+  options.mean_words = 600;
+  options.exact_dup_rate = 0.1;
+  options.seed = 81;
+  return dj::workload::CorpusGenerator(options).Generate();
+}
+
+dj::data::Dataset ArxivLike() {
+  dj::workload::CorpusOptions options;
+  options.style = dj::workload::Style::kArxiv;
+  options.num_docs = 600;
+  options.mean_words = 400;
+  options.exact_dup_rate = 0.1;
+  options.seed = 82;
+  return dj::workload::CorpusGenerator(options).Generate();
+}
+
+std::vector<std::unique_ptr<dj::ops::Op>> Pipeline() {
+  auto recipe = dj::core::Recipe::FromString(R"(
+process:
+  - remove_header_mapper:
+  - remove_comments_mapper:
+  - remove_bibliography_mapper:
+  - fix_unicode_mapper:
+  - whitespace_normalization_mapper:
+  - text_length_filter:
+      min: 60
+  - word_num_filter:
+      min: 15
+  - stopwords_filter:
+      min: 0.05
+  - word_repetition_filter:
+      max: 0.8
+  - special_characters_filter:
+      max: 0.5
+  - document_exact_deduplicator:
+)");
+  return dj::core::BuildOps(recipe.value(), dj::ops::OpRegistry::Global())
+      .value();
+}
+
+struct Measurement {
+  double seconds = 0;
+  uint64_t peak_bytes = 0;
+  double cpu_utilization = 0;
+  size_t rows_out = 0;
+};
+
+Measurement MeasureBaseline(const dj::data::Dataset& data, int np) {
+  auto ops = Pipeline();
+  dj::baseline::NaivePipeline pipeline(np);
+  dj::baseline::NaivePipeline::Report report;
+  dj::ResourceMonitor monitor(0.02);
+  monitor.Start();
+  auto result = pipeline.Run(data.ToSamples(), ops, &report);
+  dj::ResourceReport resources = monitor.Stop();
+  Measurement m;
+  m.seconds = report.seconds;
+  m.peak_bytes = report.peak_row_bytes;
+  m.cpu_utilization = resources.avg_cpu_utilization;
+  m.rows_out = result.ok() ? result.value().size() : 0;
+  return m;
+}
+
+Measurement MeasureDataJuicer(const dj::data::Dataset& data, int np) {
+  auto ops = Pipeline();
+  dj::core::Executor::Options options;
+  options.num_workers = np;
+  options.op_fusion = true;
+  options.op_reorder = true;
+  dj::core::Executor executor(options);
+  dj::ResourceMonitor monitor(0.02);
+  monitor.Start();
+  dj::Stopwatch watch;
+  // Peak live bytes: the columnar executor holds one dataset in place.
+  dj::data::Dataset working = data;
+  uint64_t peak = working.ApproxMemoryBytes();
+  auto result = executor.Run(std::move(working), ops, nullptr);
+  double seconds = watch.ElapsedSeconds();
+  dj::ResourceReport resources = monitor.Stop();
+  Measurement m;
+  m.seconds = seconds;
+  m.peak_bytes =
+      std::max(peak, result.ok() ? result.value().ApproxMemoryBytes() : 0);
+  m.cpu_utilization = resources.avg_cpu_utilization;
+  m.rows_out = result.ok() ? result.value().NumRows() : 0;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  dj::bench::Banner(
+      "Figure 8: end-to-end time / memory / CPU vs baseline scripts",
+      "Fig. 8 — avg -55.6% time, -63.0% memory, -52.2% CPU on Books & "
+      "arXiv (np scaled from {32,64,128} to {1,2,4})");
+
+  struct DatasetSpec {
+    const char* name;
+    dj::data::Dataset data;
+  };
+  std::vector<DatasetSpec> datasets;
+  datasets.push_back({"books", BooksLike()});
+  datasets.push_back({"arxiv", ArxivLike()});
+
+  dj::bench::Table table({"dataset", "np", "base_time_s", "dj_time_s",
+                          "time_saved", "base_mem", "dj_mem", "mem_saved",
+                          "rows_match"});
+  double total_time_saved = 0, total_mem_saved = 0;
+  int cells = 0;
+  for (const auto& [name, data] : datasets) {
+    for (int np : {1, 2, 4}) {
+      Measurement base = MeasureBaseline(data, np);
+      Measurement dj = MeasureDataJuicer(data, np);
+      double time_saved = 1.0 - dj.seconds / base.seconds;
+      double mem_saved =
+          1.0 - static_cast<double>(dj.peak_bytes) / base.peak_bytes;
+      total_time_saved += time_saved;
+      total_mem_saved += mem_saved;
+      ++cells;
+      table.Row({name, std::to_string(np), Fmt(base.seconds, 3),
+                 Fmt(dj.seconds, 3), FmtPct(time_saved),
+                 dj::FormatBytes(base.peak_bytes),
+                 dj::FormatBytes(dj.peak_bytes), FmtPct(mem_saved),
+                 base.rows_out == dj.rows_out ? "yes" : "NO"});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\naverage: %.1f%% less processing time, %.1f%% less peak dataset "
+      "memory\n(paper: 55.6%% / 63.0%%). Same OP implementations on both "
+      "sides; the\ndelta is the columnar store + shared contexts + fusion.\n",
+      total_time_saved / cells * 100, total_mem_saved / cells * 100);
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Table 3 reproduction: pairwise comparison of post-tuning data subsets.
+//
+// Paper rows (LLaMA-7B fine-tuned, GPT-4 judge):
+//   DJ (SFT,EN) 52k  vs Alpaca 52k          -> 65 wins vs 54  (+ ties 43)
+//   DJ (SFT,EN) 52k  vs Random (SFT,EN) 52k -> 74 wins vs 60  (+ ties 40)
+//
+// Here: the deterministic pairwise judge compares responses selected by the
+// Data-Juicer recipe + diversity sampler against (a) an Alpaca-like
+// baseline dataset and (b) a random sample from the same candidate pool.
+
+#include "bench_util.h"
+#include "analysis/sampler.h"
+#include "core/executor.h"
+#include "eval/judge.h"
+#include "ops/registry.h"
+#include "workload/generator.h"
+
+namespace {
+
+dj::data::Dataset CandidatePool() {
+  // Four SFT/EN sub-datasets (Alpaca, GPTeacher, FastChat, gpt4all stand-
+  // ins) with varied quality, like the paper's candidate subsets.
+  dj::data::Dataset pool;
+  struct Spec {
+    const char* name;
+    double low_quality;
+    double dup;
+  };
+  constexpr Spec kSpecs[] = {{"alpaca", 0.25, 0.10},
+                             {"gpteacher", 0.35, 0.15},
+                             {"fastchat", 0.30, 0.20},
+                             {"gpt4all", 0.40, 0.15}};
+  uint64_t seed = 60;
+  for (const Spec& spec : kSpecs) {
+    dj::workload::InstructionOptions options;
+    options.dataset_name = spec.name;
+    options.usage = "SFT";
+    options.lang = "EN";
+    options.num_samples = 600;
+    options.low_quality_rate = spec.low_quality;
+    options.dup_rate = spec.dup;
+    options.seed = seed++;
+    pool.Concat(dj::workload::GenerateInstructionDataset(options));
+  }
+  return pool;
+}
+
+dj::data::Dataset DataJuicerSubset(const dj::data::Dataset& pool, size_t n) {
+  auto recipe = dj::core::Recipe::FromString(R"(
+process:
+  - word_num_filter:
+      text_key: text.output
+      min: 8
+  - flagged_words_filter:
+      text_key: text.output
+      max: 0.02
+  - word_repetition_filter:
+      text_key: text.output
+      max: 0.7
+  - text_action_filter:
+      text_key: text.instruction
+      min: 1
+  - document_exact_deduplicator:
+      text_key: text.instruction
+)");
+  auto ops =
+      dj::core::BuildOps(recipe.value(), dj::ops::OpRegistry::Global());
+  dj::core::Executor executor{dj::core::Executor::Options{}};
+  dj::data::Dataset refined =
+      executor.Run(pool, ops.value(), nullptr).value();
+  dj::analysis::Sampler sampler(9);
+  return sampler.DiversityAware(refined, "text.instruction", n);
+}
+
+std::vector<std::string> Column(const dj::data::Dataset& ds,
+                                std::string_view path, size_t n) {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < n && i < ds.NumRows(); ++i) {
+    out.emplace_back(ds.GetTextAt(i, path));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  dj::bench::Banner(
+      "Table 3: pairwise win/tie counts of post-tuning datasets",
+      "Tab. 3 — DJ (SFT,EN) beats Alpaca 65:54 and Random (SFT,EN) 74:60");
+
+  constexpr size_t kPairs = 140;  // paper judges ~140-174 pairs per row
+
+  dj::data::Dataset pool = CandidatePool();
+  dj::data::Dataset dj_subset = DataJuicerSubset(pool, kPairs);
+
+  // Baseline (a): the Alpaca-like dataset alone (its own quality profile).
+  dj::workload::InstructionOptions alpaca_options;
+  alpaca_options.dataset_name = "alpaca";
+  alpaca_options.num_samples = kPairs;
+  alpaca_options.low_quality_rate = 0.25;
+  alpaca_options.dup_rate = 0.10;
+  alpaca_options.seed = 60;  // the same distribution the pool's alpaca used
+  dj::data::Dataset alpaca =
+      dj::workload::GenerateInstructionDataset(alpaca_options);
+
+  // Baseline (b): random sample of the same candidate pool.
+  dj::analysis::Sampler random_sampler(10);
+  dj::data::Dataset random_subset = random_sampler.Random(pool, kPairs);
+
+  dj::eval::PairwiseJudge judge;
+  size_t n = std::min({dj_subset.NumRows(), alpaca.NumRows(),
+                       random_subset.NumRows(), kPairs});
+
+  auto judge_against = [&](const dj::data::Dataset& baseline) {
+    return judge.Evaluate(Column(dj_subset, "text.instruction", n),
+                          Column(dj_subset, "text.output", n),
+                          Column(baseline, "text.output", n));
+  };
+  dj::eval::PairwiseResult vs_alpaca = judge_against(alpaca);
+  dj::eval::PairwiseResult vs_random = judge_against(random_subset);
+
+  dj::bench::Table table(
+      {"comparison", "#pairs", "DJ wins", "opp wins", "ties"});
+  table.Row({"DJ (SFT,EN) vs Alpaca", std::to_string(n),
+             std::to_string(vs_alpaca.wins_a),
+             std::to_string(vs_alpaca.wins_b),
+             std::to_string(vs_alpaca.ties)});
+  table.Row({"DJ (SFT,EN) vs Random (SFT,EN)", std::to_string(n),
+             std::to_string(vs_random.wins_a),
+             std::to_string(vs_random.wins_b),
+             std::to_string(vs_random.ties)});
+  table.Print();
+  std::printf(
+      "\nexpected shape: DJ wins both comparisons (paper: +16.25%% win rate\n"
+      "vs Alpaca, +7.5%% vs Random). Judge is the deterministic stand-in\n"
+      "for GPT-4 pairwise scoring (DESIGN.md).\n");
+  return 0;
+}

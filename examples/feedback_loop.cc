@@ -1,0 +1,134 @@
+// The six-step Data-in-the-LLMdev-Loop showcase (paper Sec. 5.4 / Fig. 5):
+//
+//   1. analyze the original dataset (data probe)
+//   2. refine the recipe based on the probe's weaknesses
+//   3. process with the refined recipe (with Tracer)
+//   4. analyze the refined dataset
+//   5. train reference models on original vs refined data
+//   6. collate results on the leaderboard
+//
+// Run: ./feedback_loop
+
+#include <cstdio>
+
+#include "analysis/analyzer.h"
+#include "core/executor.h"
+#include "core/tracer.h"
+#include "eval/benchmarks.h"
+#include "eval/leaderboard.h"
+#include "eval/trainer.h"
+#include "ops/registry.h"
+#include "workload/generator.h"
+
+namespace {
+
+double DimensionMean(const dj::analysis::DataProbe& probe,
+                     std::string_view key) {
+  for (const auto& dim : probe.dimensions) {
+    if (dim.stat_key == key) return dim.summary.mean;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  // Raw dataset: a noisy instruction corpus.
+  dj::workload::InstructionOptions corpus;
+  corpus.num_samples = 600;
+  corpus.low_quality_rate = 0.35;
+  corpus.dup_rate = 0.25;
+  corpus.seed = 77;
+  dj::data::Dataset original =
+      dj::workload::GenerateInstructionDataset(corpus);
+
+  // ---- Step 1: analyze the original dataset. --------------------------
+  dj::analysis::Analyzer::Options analyzer_options;
+  analyzer_options.text_key = "text.full";
+  dj::analysis::Analyzer analyzer(analyzer_options);
+  auto probe1 = analyzer.Analyze(&original);
+  if (!probe1.ok()) return 1;
+  std::printf("== step 1: original data probe (%zu samples) ==\n",
+              probe1.value().num_samples);
+  std::printf("  mean words: %.1f   flagged ratio: %.4f   top verbs: %zu\n",
+              DimensionMean(probe1.value(), "num_words"),
+              DimensionMean(probe1.value(), "flagged_words_ratio"),
+              probe1.value().verb_noun_diversity.size());
+
+  // ---- Step 2: refine the recipe based on the probe. ------------------
+  // Weaknesses seen: short/spam outputs and duplicated instructions.
+  const char* recipe_yaml = R"(
+process:
+  - word_num_filter:
+      text_key: text.output
+      min: 8
+  - flagged_words_filter:
+      text_key: text.output
+      max: 0.02
+  - word_repetition_filter:
+      text_key: text.output
+      max: 0.7
+  - document_exact_deduplicator:
+      text_key: text.instruction
+)";
+  auto recipe = dj::core::Recipe::FromString(recipe_yaml);
+  if (!recipe.ok()) return 1;
+  std::printf("\n== step 2: refined recipe with %zu OPs ==\n",
+              recipe.value().process.size());
+
+  // ---- Step 3: process with the refined recipe (traced). --------------
+  auto ops = dj::core::BuildOps(recipe.value(), dj::ops::OpRegistry::Global());
+  if (!ops.ok()) return 1;
+  dj::core::Tracer tracer(3);
+  dj::core::Executor::Options exec_options;
+  exec_options.tracer = &tracer;
+  dj::core::Executor executor(exec_options);
+  auto refined = executor.Run(original, ops.value(), nullptr);
+  if (!refined.ok()) return 1;
+  std::printf("\n== step 3: processed %zu -> %zu samples ==\n",
+              original.NumRows(), refined.value().NumRows());
+  std::printf("%s", tracer.Summary().c_str());
+
+  // ---- Step 4: analyze the refined dataset. ---------------------------
+  dj::data::Dataset refined_copy = refined.value();
+  auto probe2 = analyzer.Analyze(&refined_copy);
+  if (!probe2.ok()) return 1;
+  std::printf("\n== step 4: refined data probe ==\n");
+  std::printf("  mean words: %.1f (was %.1f)   flagged ratio: %.4f (was "
+              "%.4f)\n",
+              DimensionMean(probe2.value(), "num_words"),
+              DimensionMean(probe1.value(), "num_words"),
+              DimensionMean(probe2.value(), "flagged_words_ratio"),
+              DimensionMean(probe1.value(), "flagged_words_ratio"));
+
+  // ---- Step 5: train reference models on both datasets. ---------------
+  dj::eval::TrainOptions train;
+  train.token_budget = 8000;
+  train.max_epochs = 1;
+  train.text_key = "text.full";
+  auto original_model = dj::eval::PretrainReferenceModel(original, train);
+  auto refined_model =
+      dj::eval::PretrainReferenceModel(refined.value(), train);
+  dj::eval::BenchmarkSuite suite = dj::eval::BenchmarkSuite::CoreSuite();
+
+  // ---- Step 6: collate on the leaderboard. -----------------------------
+  dj::eval::Leaderboard board;
+  dj::eval::ReferenceModelEntry entry_original;
+  entry_original.name = "ngram-lm (original)";
+  entry_original.training_data = "raw instruction corpus";
+  entry_original.tokens_trained = original_model.tokens_consumed;
+  entry_original.task_results = suite.Evaluate(original_model.model);
+  board.Register(entry_original);
+
+  dj::eval::ReferenceModelEntry entry_refined;
+  entry_refined.name = "ngram-lm (refined)";
+  entry_refined.training_data = "Data-Juicer refined corpus";
+  entry_refined.tokens_trained = refined_model.tokens_consumed;
+  entry_refined.task_results = suite.Evaluate(refined_model.model);
+  board.Register(entry_refined);
+
+  std::printf("\n== step 5+6: leaderboard ==\n%s",
+              board.ToString(dj::eval::RankingStrategy::kScoreAverage)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,99 @@
+#include "analysis/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dj::analysis {
+
+SummaryStats Summarize(std::vector<double> values) {
+  SummaryStats s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  double sum = 0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  auto quantile = [&](double q) {
+    double idx = q * static_cast<double>(values.size() - 1);
+    size_t lo = static_cast<size_t>(idx);
+    size_t hi = std::min(lo + 1, values.size() - 1);
+    double frac = idx - static_cast<double>(lo);
+    return values[lo] * (1 - frac) + values[hi] * frac;
+  };
+  s.min = values.front();
+  s.p25 = quantile(0.25);
+  s.median = quantile(0.5);
+  s.p75 = quantile(0.75);
+  s.max = values.back();
+  return s;
+}
+
+Histogram BuildHistogram(const std::vector<double>& values, size_t num_bins) {
+  Histogram h;
+  if (values.empty() || num_bins == 0) return h;
+  h.lo = *std::min_element(values.begin(), values.end());
+  h.hi = *std::max_element(values.begin(), values.end());
+  h.bins.assign(num_bins, 0);
+  double span = h.hi - h.lo;
+  if (span <= 0) {
+    h.bins[0] = values.size();
+    return h;
+  }
+  for (double v : values) {
+    size_t bin = static_cast<size_t>((v - h.lo) / span *
+                                     static_cast<double>(num_bins));
+    if (bin >= num_bins) bin = num_bins - 1;
+    ++h.bins[bin];
+  }
+  return h;
+}
+
+std::string RenderHistogram(const Histogram& hist, size_t width) {
+  if (hist.bins.empty()) return "(empty)\n";
+  size_t max_count = 0;
+  for (size_t c : hist.bins) max_count = std::max(max_count, c);
+  if (max_count == 0) max_count = 1;
+  std::string out;
+  double bin_width =
+      (hist.hi - hist.lo) / static_cast<double>(hist.bins.size());
+  char buf[64];
+  for (size_t i = 0; i < hist.bins.size(); ++i) {
+    double lo = hist.lo + bin_width * static_cast<double>(i);
+    double hi = lo + bin_width;
+    std::snprintf(buf, sizeof(buf), "[%10.2f, %10.2f) %7zu |", lo, hi,
+                  hist.bins[i]);
+    out += buf;
+    size_t bar = hist.bins[i] * width / max_count;
+    out.append(bar, '#');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string RenderBoxPlot(const SummaryStats& stats, size_t width) {
+  if (stats.count == 0 || width < 10) return "(empty)\n";
+  double span = stats.max - stats.min;
+  auto pos = [&](double v) -> size_t {
+    if (span <= 0) return 0;
+    double p = (v - stats.min) / span * static_cast<double>(width - 1);
+    return static_cast<size_t>(std::clamp(p, 0.0, double(width - 1)));
+  };
+  std::string line(width, '-');
+  line[pos(stats.min)] = '|';
+  line[pos(stats.max)] = '|';
+  size_t a = pos(stats.p25), b = pos(stats.p75);
+  for (size_t i = a; i <= b && i < width; ++i) line[i] = '=';
+  line[pos(stats.median)] = 'M';
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "  min=%.2f p25=%.2f med=%.2f p75=%.2f max=%.2f",
+                stats.min, stats.p25, stats.median, stats.p75, stats.max);
+  return line + buf + "\n";
+}
+
+}  // namespace dj::analysis

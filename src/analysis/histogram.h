@@ -1,0 +1,42 @@
+#ifndef DJ_ANALYSIS_HISTOGRAM_H_
+#define DJ_ANALYSIS_HISTOGRAM_H_
+
+#include <string>
+#include <vector>
+
+namespace dj::analysis {
+
+/// Summary statistics of one numeric dimension (paper Sec. 5.2: counts,
+/// means, standard deviations, min/max, quantile points).
+struct SummaryStats {
+  size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double p25 = 0;
+  double median = 0;
+  double p75 = 0;
+  double max = 0;
+};
+
+SummaryStats Summarize(std::vector<double> values);
+
+/// Fixed-width histogram.
+struct Histogram {
+  double lo = 0;
+  double hi = 0;
+  std::vector<size_t> bins;
+};
+
+Histogram BuildHistogram(const std::vector<double>& values, size_t num_bins);
+
+/// ASCII rendering (bars of '#') with bin ranges; the textual stand-in for
+/// the paper's plotted histograms.
+std::string RenderHistogram(const Histogram& hist, size_t width = 50);
+
+/// ASCII box plot on one line: min [p25 | median | p75] max.
+std::string RenderBoxPlot(const SummaryStats& stats, size_t width = 60);
+
+}  // namespace dj::analysis
+
+#endif  // DJ_ANALYSIS_HISTOGRAM_H_

@@ -1,0 +1,172 @@
+#include "analysis/sampler.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "text/lexicons.h"
+#include "text/tokenizer.h"
+
+namespace dj::analysis {
+namespace {
+
+std::vector<size_t> AllIndices(size_t n) {
+  std::vector<size_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = i;
+  return out;
+}
+
+}  // namespace
+
+data::Dataset Sampler::Random(const data::Dataset& dataset, size_t n) {
+  std::vector<size_t> indices = AllIndices(dataset.NumRows());
+  if (n >= indices.size()) return dataset;
+  rng_.Shuffle(&indices);
+  indices.resize(n);
+  std::sort(indices.begin(), indices.end());  // keep original order
+  return dataset.Select(indices);
+}
+
+data::Dataset Sampler::TopKByField(const data::Dataset& dataset,
+                                   std::string_view field_path, size_t k,
+                                   bool descending) {
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(dataset.NumRows());
+  for (size_t i = 0; i < dataset.NumRows(); ++i) {
+    scored.emplace_back(dataset.GetNumberAt(i, field_path, 0.0), i);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [descending](const auto& a, const auto& b) {
+                     return descending ? a.first > b.first
+                                       : a.first < b.first;
+                   });
+  if (scored.size() > k) scored.resize(k);
+  std::vector<size_t> indices;
+  indices.reserve(scored.size());
+  for (const auto& [score, idx] : scored) indices.push_back(idx);
+  std::sort(indices.begin(), indices.end());
+  return dataset.Select(indices);
+}
+
+data::Dataset Sampler::Stratified(const data::Dataset& dataset,
+                                  std::string_view strata_path, size_t n) {
+  std::map<std::string, std::vector<size_t>> strata;
+  for (size_t i = 0; i < dataset.NumRows(); ++i) {
+    const json::Value* v = dataset.GetPath(i, strata_path);
+    std::string key;
+    if (v == nullptr || v->is_null()) {
+      key = "<missing>";
+    } else if (v->is_string()) {
+      key = v->as_string();
+    } else if (v->is_number()) {
+      key = std::to_string(v->as_double());
+    } else if (v->is_bool()) {
+      key = v->as_bool() ? "true" : "false";
+    } else {
+      key = "<complex>";
+    }
+    strata[key].push_back(i);
+  }
+  if (n >= dataset.NumRows()) return dataset;
+  // Proportional allocation with at least one per stratum where possible.
+  std::vector<size_t> chosen;
+  size_t total = dataset.NumRows();
+  std::vector<std::pair<std::string, size_t>> want;  // stratum -> quota
+  size_t allocated = 0;
+  for (const auto& [key, members] : strata) {
+    size_t quota = std::max<size_t>(
+        strata.size() <= n ? 1 : 0,
+        members.size() * n / std::max<size_t>(total, 1));
+    quota = std::min(quota, members.size());
+    want.emplace_back(key, quota);
+    allocated += quota;
+  }
+  // Distribute any remainder to the largest strata.
+  std::sort(want.begin(), want.end(),
+            [&](const auto& a, const auto& b) {
+              return strata[a.first].size() > strata[b.first].size();
+            });
+  size_t wi = 0;
+  while (allocated < n && !want.empty()) {
+    auto& [key, quota] = want[wi % want.size()];
+    if (quota < strata[key].size()) {
+      ++quota;
+      ++allocated;
+    }
+    ++wi;
+    if (wi > want.size() * (n + 2)) break;  // all strata exhausted
+  }
+  for (auto& [key, quota] : want) {
+    std::vector<size_t>& members = strata[key];
+    rng_.Shuffle(&members);
+    for (size_t i = 0; i < quota && i < members.size(); ++i) {
+      chosen.push_back(members[i]);
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  if (chosen.size() > n) chosen.resize(n);
+  return dataset.Select(chosen);
+}
+
+data::Dataset Sampler::Where(
+    const data::Dataset& dataset,
+    const std::function<bool(const data::Dataset&, size_t)>& pred, size_t n) {
+  std::vector<size_t> matching;
+  for (size_t i = 0; i < dataset.NumRows(); ++i) {
+    if (pred(dataset, i)) matching.push_back(i);
+  }
+  if (matching.size() > n) {
+    rng_.Shuffle(&matching);
+    matching.resize(n);
+    std::sort(matching.begin(), matching.end());
+  }
+  return dataset.Select(matching);
+}
+
+data::Dataset Sampler::DiversityAware(const data::Dataset& dataset,
+                                      std::string_view text_key, size_t n) {
+  const text::Lexicon& verbs = text::Lexicon::CommonVerbs();
+  const text::Lexicon& stopwords = text::Lexicon::EnglishStopwords();
+  // Extract each row's (verb, object) signature.
+  std::vector<std::string> signature(dataset.NumRows());
+  for (size_t i = 0; i < dataset.NumRows(); ++i) {
+    std::vector<std::string> words =
+        text::TokenizeWordsLower(dataset.GetTextAt(i, text_key));
+    for (size_t w = 0; w < words.size(); ++w) {
+      if (!verbs.Contains(words[w])) continue;
+      signature[i] = words[w];
+      for (size_t o = w + 1; o < words.size() && o < w + 6; ++o) {
+        if (!stopwords.Contains(words[o]) && !verbs.Contains(words[o])) {
+          signature[i] += ":" + words[o];
+          break;
+        }
+      }
+      break;
+    }
+    if (signature[i].empty()) signature[i] = "<none>";
+  }
+  if (n >= dataset.NumRows()) return dataset;
+  // Greedy round-robin across signatures, shuffled within each group.
+  std::map<std::string, std::vector<size_t>> groups;
+  for (size_t i = 0; i < signature.size(); ++i) {
+    groups[signature[i]].push_back(i);
+  }
+  for (auto& [key, members] : groups) rng_.Shuffle(&members);
+  std::vector<size_t> chosen;
+  size_t round = 0;
+  while (chosen.size() < n) {
+    bool any = false;
+    for (auto& [key, members] : groups) {
+      if (round < members.size() && chosen.size() < n) {
+        chosen.push_back(members[round]);
+        any = true;
+      }
+    }
+    if (!any) break;
+    ++round;
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return dataset.Select(chosen);
+}
+
+}  // namespace dj::analysis

@@ -1,0 +1,57 @@
+#ifndef DJ_ANALYSIS_SAMPLER_H_
+#define DJ_ANALYSIS_SAMPLER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace dj::analysis {
+
+/// The enhanced LLM-data sampler of paper Sec. 6.2: uniform random
+/// sampling, top-k by a stat, and stratified sampling over metadata /
+/// statistics fields with heterogeneous criteria (document length, token
+/// count, boolean predicates, linguistic diversity).
+class Sampler {
+ public:
+  explicit Sampler(uint64_t seed = 1234) : rng_(seed) {}
+
+  /// Uniform sample without replacement of `n` rows (all rows if n >= size).
+  data::Dataset Random(const data::Dataset& dataset, size_t n);
+
+  /// Rows with the largest value at `stat_path` (e.g. "stats.quality_score").
+  data::Dataset TopKByField(const data::Dataset& dataset,
+                            std::string_view field_path, size_t k,
+                            bool descending = true);
+
+  /// Stratified sampling: rows are bucketed by the string value at
+  /// `strata_path` (e.g. "meta.lang"); `n` rows total are drawn with each
+  /// stratum represented proportionally (at least one row from each
+  /// non-empty stratum when n >= #strata).
+  data::Dataset Stratified(const data::Dataset& dataset,
+                           std::string_view strata_path, size_t n);
+
+  /// Predicate-weighted sample: keeps rows where `pred` holds, then random
+  /// samples n of them.
+  data::Dataset Where(const data::Dataset& dataset,
+                      const std::function<bool(const data::Dataset&, size_t)>&
+                          pred,
+                      size_t n);
+
+  /// Diversity-maximizing sample: greedily picks rows whose root-verb /
+  /// object pair (over `text_key`) is least represented so far — the
+  /// "linguistic diversity formulated via verb-noun pair occurrences"
+  /// criterion. Deterministic given the seed.
+  data::Dataset DiversityAware(const data::Dataset& dataset,
+                               std::string_view text_key, size_t n);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace dj::analysis
+
+#endif  // DJ_ANALYSIS_SAMPLER_H_

@@ -1,0 +1,50 @@
+#ifndef DJ_BASELINE_NAIVE_PIPELINE_H_
+#define DJ_BASELINE_NAIVE_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "data/sample.h"
+#include "ops/op_base.h"
+
+namespace dj::baseline {
+
+/// Row-oriented, eager baseline pipeline — the stand-in for the
+/// RedPajama-style per-dataset Python scripts of Fig. 8. It reproduces
+/// their structural inefficiencies on purpose:
+///
+///  * row store: every sample is a standalone dict-like object (Sample),
+///    re-wrapped into a one-row table for each OP invocation — the "plain
+///    dict object" overhead the paper calls out;
+///  * eager materialization: the full intermediate sample list is copied
+///    after every OP (scripts write each stage out);
+///  * no context sharing: every OP re-tokenizes from scratch;
+///  * no fusion/reordering/caching.
+///
+/// It runs the very same OP implementations, so any speedup of the
+/// columnar Executor over this pipeline is attributable to the system
+/// design, not to different operator code.
+class NaivePipeline {
+ public:
+  struct Report {
+    double seconds = 0;
+    size_t rows_in = 0;
+    size_t rows_out = 0;
+    uint64_t peak_row_bytes = 0;  ///< approx peak of live sample copies
+  };
+
+  explicit NaivePipeline(int num_workers = 1) : num_workers_(num_workers) {}
+
+  Result<std::vector<data::Sample>> Run(
+      std::vector<data::Sample> samples,
+      const std::vector<std::unique_ptr<ops::Op>>& ops,
+      Report* report = nullptr);
+
+ private:
+  int num_workers_;
+};
+
+}  // namespace dj::baseline
+
+#endif  // DJ_BASELINE_NAIVE_PIPELINE_H_

@@ -1,0 +1,42 @@
+#include "common/hash.h"
+
+#include <cstdio>
+
+namespace dj {
+
+uint64_t Fnv1a64(std::string_view data, uint64_t seed) {
+  uint64_t h = seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Fingerprint128 Fingerprint(std::string_view data) {
+  Fingerprint128 fp;
+  fp.lo = SplitMix64(Fnv1a64(data, 0xcbf29ce484222325ULL));
+  fp.hi = SplitMix64(Fnv1a64(data, 0x9e3779b97f4a7c15ULL) ^ data.size());
+  return fp;
+}
+
+std::string FingerprintHex(const Fingerprint128& fp) {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(fp.hi),
+                static_cast<unsigned long long>(fp.lo));
+  return std::string(buf);
+}
+
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (SplitMix64(b) + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace dj

@@ -1,0 +1,48 @@
+#ifndef DJ_COMMON_HASH_H_
+#define DJ_COMMON_HASH_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dj {
+
+/// 64-bit FNV-1a. Stable across platforms; used for cache keys and MinHash
+/// base hashing.
+uint64_t Fnv1a64(std::string_view data, uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// SplitMix64 mixer — turns any 64-bit value into a well-distributed one.
+/// Used to derive independent hash families cheaply.
+uint64_t SplitMix64(uint64_t x);
+
+/// 128-bit fingerprint (two independent FNV streams mixed through SplitMix).
+/// Collision probability is negligible at corpus scale; used for exact
+/// document deduplication.
+struct Fingerprint128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  friend bool operator==(const Fingerprint128& a, const Fingerprint128& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+Fingerprint128 Fingerprint(std::string_view data);
+
+/// Hex rendering of a fingerprint ("0123...").
+std::string FingerprintHex(const Fingerprint128& fp);
+
+/// Combines two hash values (boost::hash_combine style, 64-bit).
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+/// Hash functor for Fingerprint128 so it can key unordered containers.
+struct Fingerprint128Hash {
+  size_t operator()(const Fingerprint128& fp) const {
+    return static_cast<size_t>(HashCombine(fp.lo, fp.hi));
+  }
+};
+
+}  // namespace dj
+
+#endif  // DJ_COMMON_HASH_H_

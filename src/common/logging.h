@@ -1,0 +1,42 @@
+#ifndef DJ_COMMON_LOGGING_H_
+#define DJ_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dj {
+
+/// Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Default: Info.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log line that emits on destruction. Used via the DJ_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace dj
+
+#define DJ_LOG(level)                                                \
+  ::dj::internal_logging::LogMessage(::dj::LogLevel::k##level,       \
+                                     __FILE__, __LINE__)             \
+      .stream()
+
+#endif  // DJ_COMMON_LOGGING_H_

@@ -1,0 +1,92 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace dj {
+namespace {
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Seed all four lanes through SplitMix64, as recommended by the xoshiro
+  // authors, so that low-entropy seeds still give well-mixed state.
+  uint64_t x = seed;
+  for (auto& lane : s_) {
+    x = SplitMix64(x);
+    lane = x == 0 ? 0x9e3779b97f4a7c15ULL : x;
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0 - n) % n;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::Gaussian() {
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Pareto(double alpha) {
+  // Same convention as numpy.random.pareto: Lomax with minimum 0.
+  double u = NextDouble();
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  return std::pow(1.0 - u, -1.0 / alpha) - 1.0;
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += w > 0 ? w : 0;
+  if (total <= 0) return 0;
+  double r = NextDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i] > 0 ? weights[i] : 0;
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xda7a0011ceULL); }
+
+}  // namespace dj

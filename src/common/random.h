@@ -1,0 +1,64 @@
+#ifndef DJ_COMMON_RANDOM_H_
+#define DJ_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dj {
+
+/// Deterministic xoshiro256**-based RNG. Every stochastic component in the
+/// library (workload generators, samplers, HPO) takes an explicit Rng so that
+/// experiments are reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+
+  /// Pareto-distributed value with shape `alpha` (minimum 0, as used by the
+  /// GPT-3 pareto keep rule: np.random.pareto).
+  double Pareto(double alpha);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Samples an index according to non-negative `weights` (need not sum to 1).
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent child generator (stable given the parent state).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace dj
+
+#endif  // DJ_COMMON_RANDOM_H_

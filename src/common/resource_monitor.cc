@@ -1,0 +1,100 @@
+#include "common/resource_monitor.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+
+namespace dj {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ResourceMonitor::ResourceMonitor(double interval_seconds)
+    : interval_seconds_(interval_seconds) {}
+
+ResourceMonitor::~ResourceMonitor() {
+  if (running_.load()) Stop();
+}
+
+uint64_t ResourceMonitor::CurrentRssBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size = 0, resident = 0;
+  int n = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (n != 2) return 0;
+  return static_cast<uint64_t>(resident) *
+         static_cast<uint64_t>(sysconf(_SC_PAGESIZE));
+}
+
+double ResourceMonitor::CurrentCpuSeconds() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  auto to_sec = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+  };
+  return to_sec(ru.ru_utime) + to_sec(ru.ru_stime);
+}
+
+void ResourceMonitor::Start() {
+  if (running_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.clear();
+  }
+  start_wall_ = NowSeconds();
+  start_cpu_ = CurrentCpuSeconds();
+  sampler_ = std::thread([this] { SampleLoop(); });
+}
+
+ResourceReport ResourceMonitor::Stop() {
+  ResourceReport report;
+  if (!running_.exchange(false)) return report;
+  if (sampler_.joinable()) sampler_.join();
+
+  report.wall_seconds = NowSeconds() - start_wall_;
+  report.cpu_seconds = CurrentCpuSeconds() - start_cpu_;
+  if (report.wall_seconds > 0) {
+    report.avg_cpu_utilization = report.cpu_seconds / report.wall_seconds;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!samples_.empty()) {
+    unsigned __int128 total = 0;
+    for (const auto& s : samples_) {
+      total += s.rss_bytes;
+      if (s.rss_bytes > report.peak_rss_bytes) {
+        report.peak_rss_bytes = s.rss_bytes;
+      }
+    }
+    report.avg_rss_bytes = static_cast<uint64_t>(total / samples_.size());
+  } else {
+    report.peak_rss_bytes = report.avg_rss_bytes = CurrentRssBytes();
+  }
+  return report;
+}
+
+void ResourceMonitor::SampleLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    ResourceSample s;
+    s.wall_seconds = NowSeconds() - start_wall_;
+    s.rss_bytes = CurrentRssBytes();
+    s.cpu_seconds = CurrentCpuSeconds() - start_cpu_;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      samples_.push_back(s);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(interval_seconds_));
+  }
+}
+
+}  // namespace dj

@@ -1,0 +1,64 @@
+#ifndef DJ_COMMON_RESOURCE_MONITOR_H_
+#define DJ_COMMON_RESOURCE_MONITOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dj {
+
+/// One sample of process resource usage.
+struct ResourceSample {
+  double wall_seconds = 0;   ///< Seconds since monitoring started.
+  uint64_t rss_bytes = 0;    ///< Resident set size from /proc/self/statm.
+  double cpu_seconds = 0;    ///< Cumulative user+system CPU time.
+};
+
+/// Aggregate over a monitored interval, mirroring the PSUTIL-based tool of
+/// the paper (Appendix B.3.3): average memory and average CPU utilization.
+struct ResourceReport {
+  double wall_seconds = 0;
+  uint64_t peak_rss_bytes = 0;
+  uint64_t avg_rss_bytes = 0;
+  double cpu_seconds = 0;
+  /// Average CPU utilization over the interval: cpu_time / wall_time.
+  /// 1.0 == one core fully busy.
+  double avg_cpu_utilization = 0;
+};
+
+/// Background sampler of this process's RSS and CPU time (Linux /proc).
+/// Start() launches a sampling thread; Stop() joins it and returns the
+/// aggregate report.
+class ResourceMonitor {
+ public:
+  explicit ResourceMonitor(double interval_seconds = 0.05);
+  ~ResourceMonitor();
+
+  ResourceMonitor(const ResourceMonitor&) = delete;
+  ResourceMonitor& operator=(const ResourceMonitor&) = delete;
+
+  void Start();
+  ResourceReport Stop();
+
+  /// Current resident set size of this process, 0 if unavailable.
+  static uint64_t CurrentRssBytes();
+  /// Cumulative user+system CPU seconds of this process.
+  static double CurrentCpuSeconds();
+
+ private:
+  void SampleLoop();
+
+  double interval_seconds_;
+  std::atomic<bool> running_{false};
+  std::thread sampler_;
+  std::mutex mutex_;
+  std::vector<ResourceSample> samples_;
+  double start_wall_ = 0;
+  double start_cpu_ = 0;
+};
+
+}  // namespace dj
+
+#endif  // DJ_COMMON_RESOURCE_MONITOR_H_

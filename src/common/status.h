@@ -1,0 +1,137 @@
+#ifndef DJ_COMMON_STATUS_H_
+#define DJ_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dj {
+
+/// Error codes used across the library. Fallible APIs return `Status` or
+/// `Result<T>` instead of throwing; hot paths stay exception-free.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIoError,
+  kCorruption,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kAborted,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight status object in the RocksDB/Abseil tradition: a code plus an
+/// optional message. Copyable, cheap when OK (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error wrapper (StatusOr analogue). Access `value()` only after
+/// checking `ok()`; violating that is a programming error (asserts in debug).
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors absl::StatusOr.
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dj
+
+/// Propagates a non-OK Status from an expression that yields `dj::Status`.
+#define DJ_RETURN_IF_ERROR(expr)             \
+  do {                                       \
+    ::dj::Status _dj_status = (expr);        \
+    if (!_dj_status.ok()) return _dj_status; \
+  } while (0)
+
+/// Evaluates an expression yielding `dj::Result<T>`; on error returns the
+/// status, otherwise moves the value into `lhs`.
+#define DJ_ASSIGN_OR_RETURN(lhs, expr)                \
+  DJ_ASSIGN_OR_RETURN_IMPL_(                          \
+      DJ_STATUS_CONCAT_(_dj_result, __LINE__), lhs, expr)
+#define DJ_STATUS_CONCAT_INNER_(a, b) a##b
+#define DJ_STATUS_CONCAT_(a, b) DJ_STATUS_CONCAT_INNER_(a, b)
+#define DJ_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#endif  // DJ_COMMON_STATUS_H_

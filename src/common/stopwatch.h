@@ -1,0 +1,28 @@
+#ifndef DJ_COMMON_STOPWATCH_H_
+#define DJ_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace dj {
+
+/// Wall-clock stopwatch for benchmark and executor timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dj
+
+#endif  // DJ_COMMON_STOPWATCH_H_

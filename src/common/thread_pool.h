@@ -1,0 +1,53 @@
+#ifndef DJ_COMMON_THREAD_POOL_H_
+#define DJ_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dj {
+
+/// Fixed-size worker pool used by Dataset::Map / Filter. The paper's
+/// `num_proc` knob maps to the pool width here.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Safe from any thread, including workers.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks (including ones submitted while
+  /// waiting) have completed.
+  void Wait();
+
+  /// Splits [0, n) into contiguous chunks and runs `fn(begin, end)` on the
+  /// pool, blocking until done. Runs inline when the pool has one thread or
+  /// n is tiny, avoiding scheduling overhead.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace dj
+
+#endif  // DJ_COMMON_THREAD_POOL_H_

@@ -1,0 +1,198 @@
+#include "compress/djlz.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace dj::compress {
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr int kHashBits = 16;
+constexpr size_t kHashSize = 1u << kHashBits;
+
+inline uint32_t HashPos(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void EmitLength(size_t len, std::string* out) {
+  while (len >= 255) {
+    out->push_back(static_cast<char>(255));
+    len -= 255;
+  }
+  out->push_back(static_cast<char>(len));
+}
+
+void EmitSequence(const uint8_t* lit, size_t lit_len, size_t match_len,
+                  size_t offset, bool last, std::string* out) {
+  uint8_t token = 0;
+  size_t lit_nibble = lit_len >= 15 ? 15 : lit_len;
+  token |= static_cast<uint8_t>(lit_nibble << 4);
+  size_t match_code = 0;
+  if (!last) {
+    match_code = match_len - kMinMatch;
+    token |= static_cast<uint8_t>(match_code >= 15 ? 15 : match_code);
+  }
+  out->push_back(static_cast<char>(token));
+  if (lit_nibble == 15) EmitLength(lit_len - 15, out);
+  out->append(reinterpret_cast<const char*>(lit), lit_len);
+  if (last) return;
+  out->push_back(static_cast<char>(offset & 0xFF));
+  out->push_back(static_cast<char>((offset >> 8) & 0xFF));
+  if (match_code >= 15) EmitLength(match_code - 15, out);
+}
+
+constexpr char kFrameMagic[4] = {'D', 'J', 'L', 'Z'};
+constexpr uint8_t kFrameVersion = 1;
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::string CompressBlock(std::string_view input) {
+  std::string out;
+  const size_t n = input.size();
+  const auto* src = reinterpret_cast<const uint8_t*>(input.data());
+  if (n < kMinMatch + 1) {
+    EmitSequence(src, n, 0, 0, /*last=*/true, &out);
+    return out;
+  }
+  out.reserve(n / 2 + 16);
+
+  std::vector<uint32_t> table(kHashSize, 0xFFFFFFFFu);
+  size_t pos = 0;
+  size_t lit_start = 0;
+  // Leave room so 4-byte loads near the end stay in bounds.
+  const size_t match_limit = n - kMinMatch;
+  while (pos <= match_limit) {
+    uint32_t h = HashPos(src + pos);
+    uint32_t cand = table[h];
+    table[h] = static_cast<uint32_t>(pos);
+    if (cand != 0xFFFFFFFFu && pos - cand <= kMaxOffset &&
+        std::memcmp(src + cand, src + pos, kMinMatch) == 0) {
+      // Extend the match forward.
+      size_t len = kMinMatch;
+      while (pos + len < n && src[cand + len] == src[pos + len]) ++len;
+      EmitSequence(src + lit_start, pos - lit_start, len, pos - cand,
+                   /*last=*/false, &out);
+      // Insert a few positions inside the match to help future matches.
+      size_t end = pos + len;
+      for (size_t p = pos + 1; p + kMinMatch <= end && p <= match_limit;
+           p += 3) {
+        table[HashPos(src + p)] = static_cast<uint32_t>(p);
+      }
+      pos = end;
+      lit_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  EmitSequence(src + lit_start, n - lit_start, 0, 0, /*last=*/true, &out);
+  return out;
+}
+
+Result<std::string> DecompressBlock(std::string_view block,
+                                    size_t expected_size) {
+  std::string out;
+  out.reserve(expected_size);
+  const auto* p = reinterpret_cast<const uint8_t*>(block.data());
+  const uint8_t* end = p + block.size();
+
+  auto read_length = [&](size_t base) -> Result<size_t> {
+    size_t len = base;
+    if (base == 15) {
+      while (true) {
+        if (p >= end) return Status::Corruption("djlz: truncated length");
+        uint8_t b = *p++;
+        len += b;
+        if (b != 255) break;
+      }
+    }
+    return len;
+  };
+
+  while (p < end) {
+    uint8_t token = *p++;
+    DJ_ASSIGN_OR_RETURN(size_t lit_len, read_length(token >> 4));
+    if (static_cast<size_t>(end - p) < lit_len) {
+      return Status::Corruption("djlz: truncated literals");
+    }
+    out.append(reinterpret_cast<const char*>(p), lit_len);
+    p += lit_len;
+    if (p >= end) break;  // final token has no match part
+    if (end - p < 2) return Status::Corruption("djlz: truncated offset");
+    size_t offset = static_cast<size_t>(p[0]) | (static_cast<size_t>(p[1]) << 8);
+    p += 2;
+    if (offset == 0 || offset > out.size()) {
+      return Status::Corruption("djlz: bad match offset");
+    }
+    DJ_ASSIGN_OR_RETURN(size_t match_code, read_length(token & 0x0F));
+    size_t match_len = match_code + kMinMatch;
+    // Byte-by-byte copy: overlapping matches (offset < length) are legal and
+    // encode runs.
+    size_t from = out.size() - offset;
+    for (size_t i = 0; i < match_len; ++i) out.push_back(out[from + i]);
+  }
+  if (out.size() != expected_size) {
+    return Status::Corruption("djlz: size mismatch (got " +
+                              std::to_string(out.size()) + ", want " +
+                              std::to_string(expected_size) + ")");
+  }
+  return out;
+}
+
+std::string CompressFrame(std::string_view input) {
+  std::string block = CompressBlock(input);
+  std::string frame;
+  frame.reserve(block.size() + 29);
+  frame.append(kFrameMagic, 4);
+  frame.push_back(static_cast<char>(kFrameVersion));
+  PutU64(input.size(), &frame);
+  PutU64(block.size(), &frame);
+  PutU64(Fnv1a64(input), &frame);
+  frame.append(block);
+  return frame;
+}
+
+bool IsFrame(std::string_view data) {
+  return data.size() >= 4 && std::memcmp(data.data(), kFrameMagic, 4) == 0;
+}
+
+Result<std::string> DecompressFrame(std::string_view frame) {
+  if (frame.size() < 29 || !IsFrame(frame)) {
+    return Status::Corruption("djlz: not a frame");
+  }
+  const auto* p = reinterpret_cast<const uint8_t*>(frame.data());
+  if (p[4] != kFrameVersion) {
+    return Status::Corruption("djlz: unsupported frame version");
+  }
+  uint64_t raw_size = GetU64(p + 5);
+  uint64_t block_size = GetU64(p + 13);
+  uint64_t checksum = GetU64(p + 21);
+  if (frame.size() != 29 + block_size) {
+    return Status::Corruption("djlz: frame size mismatch");
+  }
+  DJ_ASSIGN_OR_RETURN(
+      std::string raw,
+      DecompressBlock(frame.substr(29), static_cast<size_t>(raw_size)));
+  if (Fnv1a64(raw) != checksum) {
+    return Status::Corruption("djlz: checksum mismatch");
+  }
+  return raw;
+}
+
+}  // namespace dj::compress

@@ -1,0 +1,40 @@
+#ifndef DJ_COMPRESS_DJLZ_H_
+#define DJ_COMPRESS_DJLZ_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace dj::compress {
+
+/// From-scratch LZ77 byte codec in the LZ4 block tradition: token byte with
+/// literal-run / match-length nibbles, 16-bit match offsets, greedy
+/// hash-table matching. Stands in for zstd/LZ4 cache compression (paper
+/// Sec. 7): fast, byte-exact, good enough ratios on JSONL text.
+///
+/// Block layout per token:
+///   [token: hi nibble = literal len (15 => extension bytes),
+///           lo nibble = match len - 4 (15 => extension bytes)]
+///   [literal length extension: bytes of 255 + terminator]
+///   [literals]
+///   [offset: 2 bytes little-endian, 1..65535]   (absent in the final token)
+///   [match length extension]
+std::string CompressBlock(std::string_view input);
+
+/// Inverse of CompressBlock. `expected_size` must be the original size.
+Result<std::string> DecompressBlock(std::string_view block,
+                                    size_t expected_size);
+
+/// Framed API: magic + version + sizes + FNV checksum + block. This is what
+/// the cache layer writes to disk.
+std::string CompressFrame(std::string_view input);
+Result<std::string> DecompressFrame(std::string_view frame);
+
+/// Returns true if `data` starts with the djlz frame magic.
+bool IsFrame(std::string_view data);
+
+}  // namespace dj::compress
+
+#endif  // DJ_COMPRESS_DJLZ_H_

@@ -1,0 +1,90 @@
+#include "core/cache_manager.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "compress/djlz.h"
+#include "data/io.h"
+#include "json/writer.h"
+
+namespace dj::core {
+namespace fs = std::filesystem;
+
+uint64_t CacheManager::InitialKey(std::string_view source_id) {
+  return Fnv1a64(source_id, 0xDA7A0CACE5ULL);
+}
+
+uint64_t CacheManager::ExtendKey(uint64_t key, std::string_view op_name,
+                                 const json::Value& effective_config) {
+  // The effective config is serialized deterministically (insertion-ordered
+  // objects), so equal configurations hash equally across runs.
+  uint64_t op_hash = Fnv1a64(op_name);
+  uint64_t config_hash = Fnv1a64(json::Write(effective_config));
+  return HashCombine(HashCombine(key, op_hash), config_hash);
+}
+
+std::string CacheManager::PathFor(uint64_t key) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(key));
+  return dir_ + "/" + buf + (compression_ ? ".djds.djlz" : ".djds");
+}
+
+bool CacheManager::Contains(uint64_t key) const {
+  std::error_code ec;
+  return fs::exists(PathFor(key), ec);
+}
+
+Result<data::Dataset> CacheManager::Load(uint64_t key) const {
+  std::string path = PathFor(key);
+  auto content = data::ReadFile(path);
+  if (!content.ok()) {
+    return Status::NotFound("cache miss for key " + path);
+  }
+  std::string blob = std::move(content).value();
+  if (compress::IsFrame(blob)) {
+    DJ_ASSIGN_OR_RETURN(blob, compress::DecompressFrame(blob));
+  }
+  return data::DeserializeDataset(blob);
+}
+
+Status CacheManager::Store(uint64_t key, const data::Dataset& dataset) const {
+  std::string blob = data::SerializeDataset(dataset);
+  if (compression_) blob = compress::CompressFrame(blob);
+  return data::WriteFile(PathFor(key), blob);
+}
+
+void CacheManager::Evict(uint64_t key) const {
+  std::error_code ec;
+  fs::remove(PathFor(key), ec);
+}
+
+void CacheManager::Clear() const {
+  std::error_code ec;
+  if (!fs::exists(dir_, ec)) return;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    std::string name = entry.path().filename().string();
+    if (EndsWith(name, ".djds") || EndsWith(name, ".djds.djlz")) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+}
+
+uint64_t CacheManager::TotalBytes() const {
+  std::error_code ec;
+  if (!fs::exists(dir_, ec)) return 0;
+  uint64_t total = 0;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.is_regular_file(ec)) {
+      std::string name = entry.path().filename().string();
+      if (EndsWith(name, ".djds") || EndsWith(name, ".djds.djlz")) {
+        total += entry.file_size(ec);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace dj::core

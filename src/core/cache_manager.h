@@ -1,0 +1,64 @@
+#ifndef DJ_CORE_CACHE_MANAGER_H_
+#define DJ_CORE_CACHE_MANAGER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace dj::core {
+
+/// Per-OP dataset cache keyed by a configuration hash (paper Sec. 5.1.1 and
+/// Sec. 7 "Caching OPs and Compression"). The key for OP i is the combined
+/// hash of the dataset source id and the effective configs of OPs 0..i, so
+/// any upstream parameter change invalidates downstream cache entries —
+/// this is the "dedicated and simple hashing method" that sidesteps
+/// serializing auxiliary models.
+///
+/// Files are DJDS blobs, optionally djlz-compressed ("<key>.djds" /
+/// "<key>.djds.djlz").
+class CacheManager {
+ public:
+  CacheManager(std::string dir, bool compression)
+      : dir_(std::move(dir)), compression_(compression) {}
+
+  const std::string& dir() const { return dir_; }
+  bool compression() const { return compression_; }
+
+  /// Extends a running key with the next OP's effective config.
+  static uint64_t ExtendKey(uint64_t key, std::string_view op_name,
+                            const json::Value& effective_config);
+
+  /// Initial key for a dataset (callers pass a stable source id, e.g. the
+  /// input path + row count).
+  static uint64_t InitialKey(std::string_view source_id);
+
+  bool Contains(uint64_t key) const;
+
+  /// Loads the cached dataset for `key`; NotFound when absent.
+  Result<data::Dataset> Load(uint64_t key) const;
+
+  /// Stores `dataset` under `key` (overwrites).
+  Status Store(uint64_t key, const data::Dataset& dataset) const;
+
+  /// Removes the entry for `key` if present.
+  void Evict(uint64_t key) const;
+
+  /// Removes every cache file in the directory.
+  void Clear() const;
+
+  /// Total bytes currently used by cache files.
+  uint64_t TotalBytes() const;
+
+ private:
+  std::string PathFor(uint64_t key) const;
+
+  std::string dir_;
+  bool compression_;
+};
+
+}  // namespace dj::core
+
+#endif  // DJ_CORE_CACHE_MANAGER_H_

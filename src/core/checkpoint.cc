@@ -1,0 +1,59 @@
+#include "core/checkpoint.h"
+
+#include <filesystem>
+
+#include "data/io.h"
+#include "json/parser.h"
+#include "json/writer.h"
+
+namespace dj::core {
+namespace fs = std::filesystem;
+
+Status CheckpointManager::Save(const CheckpointState& state) const {
+  DJ_RETURN_IF_ERROR(
+      data::WriteFile(DatasetPath(), data::SerializeDataset(state.dataset)));
+  json::Object manifest;
+  manifest.Set("next_op_index",
+               json::Value(static_cast<int64_t>(state.next_op_index)));
+  manifest.Set("pipeline_key",
+               json::Value(static_cast<int64_t>(state.pipeline_key)));
+  manifest.Set("num_rows",
+               json::Value(static_cast<int64_t>(state.dataset.NumRows())));
+  return data::WriteFile(ManifestPath(),
+                         json::Write(json::Value(std::move(manifest)),
+                                     {.pretty = true}));
+}
+
+Result<CheckpointState> CheckpointManager::LoadLatest() const {
+  auto manifest_content = data::ReadFile(ManifestPath());
+  if (!manifest_content.ok()) {
+    return Status::NotFound("no checkpoint in " + dir_);
+  }
+  DJ_ASSIGN_OR_RETURN(json::Value manifest,
+                      json::ParseStrict(manifest_content.value()));
+  DJ_ASSIGN_OR_RETURN(std::string blob, data::ReadFile(DatasetPath()));
+  CheckpointState state;
+  state.next_op_index = static_cast<size_t>(manifest.GetInt("next_op_index", 0));
+  state.pipeline_key =
+      static_cast<uint64_t>(manifest.GetInt("pipeline_key", 0));
+  DJ_ASSIGN_OR_RETURN(state.dataset, data::DeserializeDataset(blob));
+  return state;
+}
+
+Result<CheckpointState> CheckpointManager::LoadIfCompatible(
+    uint64_t expected_key) const {
+  auto state = LoadLatest();
+  if (!state.ok()) return state;
+  if (state.value().pipeline_key != expected_key) {
+    return Status::NotFound("checkpoint pipeline key mismatch (recipe changed)");
+  }
+  return state;
+}
+
+void CheckpointManager::Clear() const {
+  std::error_code ec;
+  fs::remove(ManifestPath(), ec);
+  fs::remove(DatasetPath(), ec);
+}
+
+}  // namespace dj::core

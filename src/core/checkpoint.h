@@ -1,0 +1,52 @@
+#ifndef DJ_CORE_CHECKPOINT_H_
+#define DJ_CORE_CHECKPOINT_H_
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace dj::core {
+
+/// A saved processing site: the dataset state plus the index of the next OP
+/// to execute (paper Sec. 5.1.1: "the checkpoint preserves the whole dataset
+/// and processing state enabling complete recovery").
+struct CheckpointState {
+  size_t next_op_index = 0;
+  uint64_t pipeline_key = 0;  ///< config-hash of OPs executed so far
+  data::Dataset dataset;
+};
+
+/// Durable checkpoints for crash/failure recovery. A checkpoint is a DJDS
+/// dataset blob plus a JSON manifest; Save overwrites the previous
+/// checkpoint of the same run (the paper keeps the "most optimal recent
+/// processing state").
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(std::string dir) : dir_(std::move(dir)) {}
+
+  const std::string& dir() const { return dir_; }
+
+  Status Save(const CheckpointState& state) const;
+
+  /// Loads the latest checkpoint; returns NotFound when none exists.
+  Result<CheckpointState> LoadLatest() const;
+
+  /// Loads only when the stored pipeline key matches `expected_key` for the
+  /// stored op index — i.e., the recipe prefix is unchanged. Mismatch or
+  /// absence returns NotFound.
+  Result<CheckpointState> LoadIfCompatible(uint64_t expected_key) const;
+
+  void Clear() const;
+
+ private:
+  std::string ManifestPath() const { return dir_ + "/checkpoint.json"; }
+  std::string DatasetPath() const { return dir_ + "/checkpoint.djds"; }
+
+  std::string dir_;
+};
+
+}  // namespace dj::core
+
+#endif  // DJ_CORE_CHECKPOINT_H_

@@ -1,0 +1,318 @@
+#include "core/executor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "json/writer.h"
+
+namespace dj::core {
+namespace {
+
+/// Snapshot of the processed text field of every row (used by the Tracer to
+/// diff Mapper edits and to report removed duplicates).
+std::vector<std::string> SnapshotTexts(data::Dataset* ds,
+                                       const std::string& text_key) {
+  std::vector<std::string> out;
+  out.reserve(ds->NumRows());
+  for (size_t i = 0; i < ds->NumRows(); ++i) {
+    out.emplace_back(ds->Row(i).GetText(text_key));
+  }
+  return out;
+}
+
+std::string StatsJsonOf(data::RowRef row) {
+  const json::Value* stats = row.Get(data::kStatsField);
+  return stats == nullptr ? "{}" : json::Write(*stats);
+}
+
+}  // namespace
+
+Result<std::vector<std::unique_ptr<ops::Op>>> BuildOps(
+    const Recipe& recipe, const ops::OpRegistry& registry) {
+  std::vector<std::unique_ptr<ops::Op>> out;
+  out.reserve(recipe.process.size());
+  for (const OpSpec& spec : recipe.process) {
+    DJ_ASSIGN_OR_RETURN(std::unique_ptr<ops::Op> op,
+                        registry.Create(spec.name, spec.params));
+    if (op->kind() == ops::OpKind::kFormatter) {
+      return Status::InvalidArgument(
+          "formatter '" + spec.name +
+          "' cannot appear in 'process'; formatters load datasets");
+    }
+    out.push_back(std::move(op));
+  }
+  return out;
+}
+
+std::string RunReport::ToString() const {
+  std::string out;
+  char buf[200];
+  std::snprintf(buf, sizeof(buf), "%-44s %-13s %9s %9s %9s %6s\n", "op",
+                "kind", "rows_in", "rows_out", "sec", "cache");
+  out += buf;
+  for (const OpReport& r : op_reports) {
+    std::snprintf(buf, sizeof(buf), "%-44s %-13s %9zu %9zu %9.3f %6s\n",
+                  r.name.c_str(), r.kind.c_str(), r.rows_in, r.rows_out,
+                  r.seconds, r.cache_hit ? "hit" : "-");
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "total: %.3fs, rows %zu -> %zu, cache hits %zu%s\n",
+                total_seconds, rows_in, rows_out, cache_hits,
+                resumed_from_checkpoint ? ", resumed from checkpoint" : "");
+  out += buf;
+  return out;
+}
+
+Executor::Executor(Options options) : options_(std::move(options)) {}
+
+Executor::Options Executor::OptionsFromRecipe(const Recipe& recipe) {
+  Options opts;
+  opts.num_workers = recipe.num_workers;
+  opts.op_fusion = recipe.op_fusion;
+  opts.op_reorder = recipe.op_reorder;
+  opts.use_cache = recipe.use_cache;
+  opts.cache_dir = recipe.cache_dir;
+  opts.cache_compression = recipe.cache_compression;
+  opts.use_checkpoint = recipe.use_checkpoint;
+  opts.checkpoint_dir = recipe.checkpoint_dir;
+  opts.dataset_source_id =
+      recipe.dataset_path.empty() ? "in-memory" : recipe.dataset_path;
+  return opts;
+}
+
+Status Executor::RunMapper(ops::Mapper* mapper, data::Dataset* dataset,
+                           ThreadPool* pool) {
+  std::optional<std::vector<std::string>> before;
+  if (options_.tracer != nullptr) {
+    before = SnapshotTexts(dataset, mapper->text_key());
+  }
+  DJ_RETURN_IF_ERROR(dataset->Map(
+      [mapper](data::RowRef row) { return mapper->ProcessRow(row, nullptr); },
+      pool));
+  if (before.has_value()) {
+    for (size_t i = 0; i < dataset->NumRows(); ++i) {
+      std::string_view after = dataset->Row(i).GetText(mapper->text_key());
+      if (after != (*before)[i]) {
+        options_.tracer->RecordEdit(mapper->name(), i, (*before)[i], after);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status Executor::RunFilters(const std::vector<ops::Filter*>& filters,
+                            data::Dataset* dataset, ThreadPool* pool) {
+  dataset->EnsureColumn(data::kStatsField);
+  Tracer* tracer = options_.tracer;
+  auto pred = [&filters, tracer](data::RowRef row) -> Result<bool> {
+    // One shared context per sample for the whole fused group: this is the
+    // context-management optimization — Words()/Lines() compute once.
+    std::string_view text = row.GetText(filters.front()->text_key());
+    ops::SampleContext ctx(text);
+    for (const ops::Filter* f : filters) {
+      DJ_RETURN_IF_ERROR(f->ComputeStats(row, &ctx));
+    }
+    for (const ops::Filter* f : filters) {
+      DJ_ASSIGN_OR_RETURN(bool keep, f->KeepRow(row));
+      if (!keep) {
+        if (tracer != nullptr) {
+          tracer->RecordFiltered(f->name(), row.row(), text,
+                                 StatsJsonOf(row));
+        }
+        return false;
+      }
+    }
+    return true;
+  };
+  DJ_ASSIGN_OR_RETURN(data::Dataset filtered, dataset->Filter(pred, pool));
+  *dataset = std::move(filtered);
+  return Status::Ok();
+}
+
+Status Executor::RunDeduplicator(ops::Deduplicator* dedup,
+                                 data::Dataset* dataset, ThreadPool* pool) {
+  dataset->EnsureColumn(data::kStatsField);
+  std::optional<std::vector<std::string>> texts;
+  std::vector<ops::DuplicatePair> pairs;
+  if (options_.tracer != nullptr) {
+    texts = SnapshotTexts(dataset, dedup->text_key());
+  }
+  DJ_ASSIGN_OR_RETURN(
+      data::Dataset result,
+      dedup->Deduplicate(std::move(*dataset), pool,
+                         options_.tracer != nullptr ? &pairs : nullptr));
+  *dataset = std::move(result);
+  if (texts.has_value()) {
+    for (const ops::DuplicatePair& p : pairs) {
+      options_.tracer->RecordDuplicate(dedup->name(), (*texts)[p.kept_row],
+                                       (*texts)[p.removed_row], p.similarity);
+    }
+  }
+  return Status::Ok();
+}
+
+Status Executor::RunUnit(const PlanUnit& unit, data::Dataset* dataset,
+                         ThreadPool* pool) {
+  if (unit.is_fused()) {
+    return RunFilters(unit.fused, dataset, pool);
+  }
+  switch (unit.op->kind()) {
+    case ops::OpKind::kMapper:
+      return RunMapper(static_cast<ops::Mapper*>(unit.op), dataset, pool);
+    case ops::OpKind::kFilter:
+      return RunFilters({static_cast<ops::Filter*>(unit.op)}, dataset, pool);
+    case ops::OpKind::kDeduplicator:
+      return RunDeduplicator(static_cast<ops::Deduplicator*>(unit.op),
+                             dataset, pool);
+    case ops::OpKind::kFormatter:
+      return Status::InvalidArgument("formatter in pipeline");
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<data::Dataset> Executor::Run(
+    data::Dataset dataset, const std::vector<std::unique_ptr<ops::Op>>& ops,
+    RunReport* report) {
+  std::vector<ops::Op*> raw;
+  raw.reserve(ops.size());
+  for (const auto& op : ops) raw.push_back(op.get());
+  return Run(std::move(dataset), raw, report);
+}
+
+Result<data::Dataset> Executor::Run(data::Dataset dataset,
+                                    const std::vector<ops::Op*>& ops,
+                                    RunReport* report) {
+  Stopwatch total_watch;
+  RunReport local_report;
+  RunReport* rep = report != nullptr ? report : &local_report;
+  rep->op_reports.clear();
+  rep->rows_in = dataset.NumRows();
+
+  FusionOptions fusion_options{options_.op_fusion, options_.op_reorder};
+  std::vector<PlanUnit> plan = PlanFusion(ops, fusion_options);
+
+  // Cumulative config-hash keys: key_before[i] identifies the pipeline state
+  // entering unit i; key_after[i] the state after it.
+  std::vector<uint64_t> key_before(plan.size() + 1);
+  key_before[0] = CacheManager::InitialKey(options_.dataset_source_id);
+  for (size_t i = 0; i < plan.size(); ++i) {
+    uint64_t key = key_before[i];
+    if (plan[i].is_fused()) {
+      for (const ops::Filter* f : plan[i].fused) {
+        key = CacheManager::ExtendKey(key, f->name(), f->config());
+      }
+    } else {
+      key = CacheManager::ExtendKey(key, plan[i].op->name(),
+                                    plan[i].op->config());
+    }
+    key_before[i + 1] = key;
+  }
+
+  size_t start_unit = 0;
+
+  // Checkpoint resume: restore the latest compatible processing site.
+  std::optional<CheckpointManager> checkpoints;
+  if (options_.use_checkpoint && !options_.checkpoint_dir.empty()) {
+    checkpoints.emplace(options_.checkpoint_dir);
+    auto state = checkpoints->LoadLatest();
+    if (state.ok()) {
+      for (size_t i = 0; i <= plan.size(); ++i) {
+        if (key_before[i] == state.value().pipeline_key) {
+          dataset = std::move(state.value().dataset);
+          start_unit = i;
+          rep->resumed_from_checkpoint = true;
+          break;
+        }
+      }
+      if (!rep->resumed_from_checkpoint) {
+        DJ_LOG(Info) << "checkpoint incompatible with current recipe; "
+                        "starting fresh";
+      }
+    }
+  }
+
+  // Cache scan: the longest cached prefix wins (deepest key_after hit).
+  std::optional<CacheManager> cache;
+  if (options_.use_cache && !options_.cache_dir.empty()) {
+    cache.emplace(options_.cache_dir, options_.cache_compression);
+    for (size_t i = plan.size(); i > start_unit; --i) {
+      if (!cache->Contains(key_before[i])) continue;
+      auto loaded = cache->Load(key_before[i]);
+      if (!loaded.ok()) {
+        DJ_LOG(Warning) << "cache entry unreadable, evicting: "
+                        << loaded.status().ToString();
+        cache->Evict(key_before[i]);
+        continue;
+      }
+      dataset = std::move(loaded).value();
+      // Record skipped units as cache hits.
+      for (size_t j = start_unit; j < i; ++j) {
+        OpReport r;
+        r.name = plan[j].DisplayName();
+        r.kind = plan[j].is_fused() ? "fused_filter"
+                                    : ops::OpKindName(plan[j].op->kind());
+        r.rows_in = r.rows_out = dataset.NumRows();
+        r.cache_hit = true;
+        rep->op_reports.push_back(std::move(r));
+        ++rep->cache_hits;
+      }
+      start_unit = i;
+      break;
+    }
+  }
+
+  std::optional<ThreadPool> pool;
+  if (options_.num_workers > 1) {
+    pool.emplace(static_cast<size_t>(options_.num_workers));
+  }
+
+  for (size_t i = start_unit; i < plan.size(); ++i) {
+    Stopwatch unit_watch;
+    OpReport r;
+    r.name = plan[i].DisplayName();
+    r.kind = plan[i].is_fused() ? "fused_filter"
+                                : ops::OpKindName(plan[i].op->kind());
+    r.rows_in = dataset.NumRows();
+
+    if (options_.inject_failure_at == static_cast<int>(i)) {
+      // Checkpoint (if enabled) holds the state after unit i-1 already.
+      return Status::Internal("injected failure before unit " +
+                              r.name);
+    }
+
+    Status status = RunUnit(plan[i], &dataset, pool ? &*pool : nullptr);
+    if (!status.ok()) {
+      return Status(status.code(),
+                    "OP '" + r.name + "' failed: " + status.message());
+    }
+    r.rows_out = dataset.NumRows();
+    r.seconds = unit_watch.ElapsedSeconds();
+    rep->op_reports.push_back(std::move(r));
+
+    if (cache.has_value()) {
+      Status s = cache->Store(key_before[i + 1], dataset);
+      if (!s.ok()) DJ_LOG(Warning) << "cache store failed: " << s.ToString();
+    }
+    int every = std::max(options_.checkpoint_every_n_units, 1);
+    bool checkpoint_due =
+        (i + 1) % static_cast<size_t>(every) == 0 || i + 1 == plan.size();
+    if (checkpoints.has_value() && checkpoint_due) {
+      CheckpointState state;
+      state.next_op_index = i + 1;
+      state.pipeline_key = key_before[i + 1];
+      state.dataset = dataset;
+      Status s = checkpoints->Save(state);
+      if (!s.ok()) DJ_LOG(Warning) << "checkpoint failed: " << s.ToString();
+    }
+  }
+
+  rep->rows_out = dataset.NumRows();
+  rep->total_seconds = total_watch.ElapsedSeconds();
+  return dataset;
+}
+
+}  // namespace dj::core

@@ -1,0 +1,109 @@
+#ifndef DJ_CORE_EXECUTOR_H_
+#define DJ_CORE_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cache_manager.h"
+#include "core/checkpoint.h"
+#include "core/fusion.h"
+#include "core/recipe.h"
+#include "core/tracer.h"
+#include "data/dataset.h"
+#include "ops/registry.h"
+
+namespace dj::core {
+
+/// Instantiates the recipe's OP list from the registry.
+Result<std::vector<std::unique_ptr<ops::Op>>> BuildOps(
+    const Recipe& recipe, const ops::OpRegistry& registry);
+
+/// Per-OP execution record (feeds reports, benches, and the Tracer summary).
+struct OpReport {
+  std::string name;
+  std::string kind;
+  size_t rows_in = 0;
+  size_t rows_out = 0;
+  double seconds = 0;
+  bool cache_hit = false;
+};
+
+struct RunReport {
+  std::vector<OpReport> op_reports;
+  double total_seconds = 0;
+  size_t rows_in = 0;
+  size_t rows_out = 0;
+  size_t cache_hits = 0;
+  bool resumed_from_checkpoint = false;
+
+  std::string ToString() const;
+};
+
+/// Executes an OP pipeline over a dataset with the paper's Sec. 7
+/// optimizations: shared per-sample contexts, OP fusion + reordering,
+/// per-OP caching (config-hash keyed, optionally compressed), and
+/// checkpoint-based failure recovery.
+class Executor {
+ public:
+  struct Options {
+    int num_workers = 1;
+    bool op_fusion = false;
+    bool op_reorder = false;
+
+    bool use_cache = false;
+    std::string cache_dir;
+    bool cache_compression = false;
+    /// Stable id of the input dataset for cache keys (e.g. its path).
+    std::string dataset_source_id = "in-memory";
+
+    bool use_checkpoint = false;
+    std::string checkpoint_dir;
+    /// Space-time trade-off of paper Sec. 5.1.1: checkpoint after every
+    /// N-th unit (1 = after each OP, minimal re-execution; larger = less
+    /// checkpoint I/O, more re-execution on failure). The final unit is
+    /// always checkpointed.
+    int checkpoint_every_n_units = 1;
+
+    Tracer* tracer = nullptr;  ///< not owned; may be null
+
+    /// Test hook: the OP at this pipeline index fails after its unit starts
+    /// (-1 = disabled). Exercises checkpoint-on-failure.
+    int inject_failure_at = -1;
+  };
+
+  explicit Executor(Options options);
+
+  /// Convenience: options derived from a recipe.
+  static Options OptionsFromRecipe(const Recipe& recipe);
+
+  /// Runs `ops` over `dataset` and returns the processed dataset.
+  /// On failure with checkpointing enabled, the state before the failing OP
+  /// has been persisted; a subsequent Run with the same options resumes
+  /// after the surviving prefix.
+  Result<data::Dataset> Run(data::Dataset dataset,
+                            const std::vector<std::unique_ptr<ops::Op>>& ops,
+                            RunReport* report = nullptr);
+
+  /// Raw-pointer overload for borrowed OP subranges.
+  Result<data::Dataset> Run(data::Dataset dataset,
+                            const std::vector<ops::Op*>& ops,
+                            RunReport* report = nullptr);
+
+ private:
+  Status RunUnit(const PlanUnit& unit, data::Dataset* dataset,
+                 ThreadPool* pool);
+  Status RunMapper(ops::Mapper* mapper, data::Dataset* dataset,
+                   ThreadPool* pool);
+  Status RunFilters(const std::vector<ops::Filter*>& filters,
+                    data::Dataset* dataset, ThreadPool* pool);
+  Status RunDeduplicator(ops::Deduplicator* dedup, data::Dataset* dataset,
+                         ThreadPool* pool);
+
+  Options options_;
+};
+
+}  // namespace dj::core
+
+#endif  // DJ_CORE_EXECUTOR_H_

@@ -1,0 +1,50 @@
+#include "core/space_model.h"
+
+namespace dj::core {
+
+PipelineShape ShapeOf(const std::vector<std::unique_ptr<ops::Op>>& ops) {
+  PipelineShape shape;
+  for (const auto& op : ops) {
+    switch (op->kind()) {
+      case ops::OpKind::kMapper:
+        ++shape.num_mappers;
+        break;
+      case ops::OpKind::kFilter:
+        ++shape.num_filters;
+        break;
+      case ops::OpKind::kDeduplicator:
+        ++shape.num_deduplicators;
+        break;
+      case ops::OpKind::kFormatter:
+        break;  // formatters run before the pipeline; no cache set
+    }
+  }
+  return shape;
+}
+
+uint64_t CacheModeSpaceBytes(const PipelineShape& shape,
+                             uint64_t dataset_bytes) {
+  uint64_t sets = 1 + shape.num_mappers + shape.num_filters +
+                  (shape.num_filters > 0 ? 1 : 0) + shape.num_deduplicators;
+  return sets * dataset_bytes;
+}
+
+uint64_t CheckpointModeSpaceBytes(uint64_t dataset_bytes) {
+  return 3 * dataset_bytes;
+}
+
+SpacePlan PlanSpace(const PipelineShape& shape, uint64_t dataset_bytes,
+                    uint64_t available_disk_bytes) {
+  SpacePlan plan;
+  plan.predicted_cache_bytes = CacheModeSpaceBytes(shape, dataset_bytes);
+  plan.predicted_checkpoint_bytes = CheckpointModeSpaceBytes(dataset_bytes);
+  if (plan.predicted_cache_bytes <= available_disk_bytes) {
+    plan.enable_cache = true;
+    plan.enable_checkpoint = true;
+  } else if (plan.predicted_checkpoint_bytes <= available_disk_bytes) {
+    plan.enable_checkpoint = true;
+  }
+  return plan;
+}
+
+}  // namespace dj::core

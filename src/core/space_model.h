@@ -1,0 +1,51 @@
+#ifndef DJ_CORE_SPACE_MODEL_H_
+#define DJ_CORE_SPACE_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ops/op_base.h"
+
+namespace dj::core {
+
+/// Composition of a pipeline by OP category.
+struct PipelineShape {
+  size_t num_mappers = 0;
+  size_t num_filters = 0;
+  size_t num_deduplicators = 0;
+};
+
+PipelineShape ShapeOf(const std::vector<std::unique_ptr<ops::Op>>& ops);
+
+/// Theoretical disk usage of cache mode (paper Appendix A.2):
+///   Space = (1 + M + F + 1{F>0} + D) * S
+/// The extra 1{F>0} term is the cache write after the first Filter adds the
+/// stats column.
+uint64_t CacheModeSpaceBytes(const PipelineShape& shape,
+                             uint64_t dataset_bytes);
+
+/// Theoretical peak disk usage of checkpoint mode: 3 * S (two live cache
+/// sets during handover plus the original dataset cache).
+uint64_t CheckpointModeSpaceBytes(uint64_t dataset_bytes);
+
+/// Advice produced by the disk-space planner (paper Sec. 5.1.1: the system
+/// "automatically determines if, and when, checkpoints and cache should be
+/// deployed" from available space).
+struct SpacePlan {
+  bool enable_cache = false;
+  bool enable_checkpoint = false;
+  uint64_t predicted_cache_bytes = 0;
+  uint64_t predicted_checkpoint_bytes = 0;
+};
+
+/// Chooses cache/checkpoint deployment given the pipeline shape, the input
+/// dataset size, and the available disk budget: full per-OP caching when it
+/// fits, checkpoint-only when only 3*S fits, neither otherwise.
+SpacePlan PlanSpace(const PipelineShape& shape, uint64_t dataset_bytes,
+                    uint64_t available_disk_bytes);
+
+}  // namespace dj::core
+
+#endif  // DJ_CORE_SPACE_MODEL_H_

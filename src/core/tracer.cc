@@ -1,0 +1,137 @@
+#include "core/tracer.h"
+
+#include <algorithm>
+
+#include "data/io.h"
+#include "json/writer.h"
+
+namespace dj::core {
+
+Tracer::OpTotals* Tracer::TotalsFor(std::string_view op_name) {
+  for (auto& t : totals_) {
+    if (t.op_name == op_name) return &t;
+  }
+  totals_.push_back({std::string(op_name), 0, 0, 0});
+  return &totals_.back();
+}
+
+void Tracer::RecordEdit(std::string_view op_name, size_t row,
+                        std::string_view before, std::string_view after) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OpTotals* totals = TotalsFor(op_name);
+  ++totals->edited;
+  size_t existing = 0;
+  for (const auto& e : edits_) {
+    if (e.op_name == op_name) ++existing;
+  }
+  if (existing < limit_) {
+    edits_.push_back({std::string(op_name), row, std::string(before),
+                      std::string(after)});
+  }
+}
+
+void Tracer::RecordFiltered(std::string_view op_name, size_t row,
+                            std::string_view text,
+                            std::string_view stats_json) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OpTotals* totals = TotalsFor(op_name);
+  ++totals->filtered;
+  size_t existing = 0;
+  for (const auto& e : filtered_) {
+    if (e.op_name == op_name) ++existing;
+  }
+  if (existing < limit_) {
+    filtered_.push_back({std::string(op_name), row, std::string(text),
+                         std::string(stats_json)});
+  }
+}
+
+void Tracer::RecordDuplicate(std::string_view op_name, std::string_view kept,
+                             std::string_view removed, double similarity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OpTotals* totals = TotalsFor(op_name);
+  ++totals->duplicates;
+  size_t existing = 0;
+  for (const auto& e : duplicates_) {
+    if (e.op_name == op_name) ++existing;
+  }
+  if (existing < limit_) {
+    duplicates_.push_back({std::string(op_name), std::string(kept),
+                           std::string(removed), similarity});
+  }
+}
+
+std::vector<Tracer::OpTotals> Tracer::Totals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return totals_;
+}
+
+std::string Tracer::Summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "op_name                                  edited  "
+                    "filtered  duplicates\n";
+  for (const auto& t : totals_) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%-40s %6llu %9llu %11llu\n",
+                  t.op_name.c_str(),
+                  static_cast<unsigned long long>(t.edited),
+                  static_cast<unsigned long long>(t.filtered),
+                  static_cast<unsigned long long>(t.duplicates));
+    out += buf;
+  }
+  return out;
+}
+
+Status Tracer::WriteTo(const std::string& dir) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto to_jsonl = [](const json::Array& rows) {
+    std::string out;
+    for (const json::Value& row : rows) {
+      out += json::Write(row);
+      out.push_back('\n');
+    }
+    return out;
+  };
+  {
+    json::Array rows;
+    for (const auto& e : edits_) {
+      json::Object o;
+      o.Set("op_name", json::Value(e.op_name));
+      o.Set("row", json::Value(static_cast<int64_t>(e.row)));
+      o.Set("before", json::Value(e.before));
+      o.Set("after", json::Value(e.after));
+      rows.emplace_back(std::move(o));
+    }
+    DJ_RETURN_IF_ERROR(
+        data::WriteFile(dir + "/trace-mapper.jsonl", to_jsonl(rows)));
+  }
+  {
+    json::Array rows;
+    for (const auto& e : filtered_) {
+      json::Object o;
+      o.Set("op_name", json::Value(e.op_name));
+      o.Set("row", json::Value(static_cast<int64_t>(e.row)));
+      o.Set("text", json::Value(e.text));
+      o.Set("stats", json::Value(e.stats_json));
+      rows.emplace_back(std::move(o));
+    }
+    DJ_RETURN_IF_ERROR(
+        data::WriteFile(dir + "/trace-filter.jsonl", to_jsonl(rows)));
+  }
+  {
+    json::Array rows;
+    for (const auto& e : duplicates_) {
+      json::Object o;
+      o.Set("op_name", json::Value(e.op_name));
+      o.Set("kept", json::Value(e.kept_text));
+      o.Set("removed", json::Value(e.removed_text));
+      o.Set("similarity", json::Value(e.similarity));
+      rows.emplace_back(std::move(o));
+    }
+    DJ_RETURN_IF_ERROR(
+        data::WriteFile(dir + "/trace-duplicates.jsonl", to_jsonl(rows)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace dj::core

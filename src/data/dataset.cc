@@ -1,0 +1,374 @@
+#include "data/dataset.h"
+
+#include <atomic>
+#include <cassert>
+#include <mutex>
+
+namespace dj::data {
+
+// ---------------------------------------------------------------- RowRef --
+
+const json::Value* RowRef::Get(std::string_view dot_path) const {
+  size_t dot = dot_path.find('.');
+  std::string_view head =
+      dot == std::string_view::npos ? dot_path : dot_path.substr(0, dot);
+  const Dataset::ColumnData* col = dataset_->FindColumn(head);
+  if (col == nullptr) return nullptr;
+  const json::Value* cell = &col->cells[row_];
+  if (dot == std::string_view::npos) return cell;
+  if (!cell->is_object()) return nullptr;
+  return FindPath(cell->as_object(), dot_path.substr(dot + 1));
+}
+
+json::Value* RowRef::GetMutable(std::string_view dot_path) {
+  return const_cast<json::Value*>(
+      static_cast<const RowRef*>(this)->Get(dot_path));
+}
+
+Status RowRef::Set(std::string_view dot_path, json::Value value) {
+  size_t dot = dot_path.find('.');
+  std::string_view head =
+      dot == std::string_view::npos ? dot_path : dot_path.substr(0, dot);
+  Dataset::ColumnData* col = dataset_->FindColumn(head);
+  if (col == nullptr) {
+    return Status::NotFound("column '" + std::string(head) +
+                            "' does not exist; call EnsureColumn first");
+  }
+  json::Value* cell = &col->cells[row_];
+  if (dot == std::string_view::npos) {
+    *cell = std::move(value);
+    return Status::Ok();
+  }
+  if (!cell->is_object()) {
+    if (!cell->is_null()) {
+      return Status::InvalidArgument("cell '" + std::string(head) +
+                                     "' is not an object");
+    }
+    *cell = json::Value(json::Object());
+  }
+  if (!SetPath(cell->as_object(), dot_path.substr(dot + 1),
+               std::move(value))) {
+    return Status::InvalidArgument("non-object segment in path '" +
+                                   std::string(dot_path) + "'");
+  }
+  return Status::Ok();
+}
+
+std::string_view RowRef::GetText(std::string_view dot_path) const {
+  const json::Value* v = Get(dot_path);
+  if (v == nullptr || !v->is_string()) return {};
+  return v->as_string();
+}
+
+double RowRef::GetNumber(std::string_view dot_path, double def) const {
+  const json::Value* v = Get(dot_path);
+  if (v == nullptr || !v->is_number()) return def;
+  return v->as_double();
+}
+
+Sample RowRef::Materialize() const { return dataset_->MaterializeRow(row_); }
+
+// --------------------------------------------------------------- Dataset --
+
+Dataset Dataset::FromSamples(std::vector<Sample> samples) {
+  Dataset ds;
+  for (const Sample& s : samples) ds.AppendSample(s);
+  return ds;
+}
+
+Dataset Dataset::FromTexts(std::vector<std::string> texts) {
+  Dataset ds;
+  ColumnData col;
+  col.name = std::string(kTextField);
+  col.cells.reserve(texts.size());
+  for (auto& t : texts) col.cells.emplace_back(std::move(t));
+  ds.num_rows_ = col.cells.size();
+  ds.columns_.push_back(std::move(col));
+  return ds;
+}
+
+std::vector<std::string> Dataset::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& c : columns_) names.push_back(c.name);
+  return names;
+}
+
+bool Dataset::HasColumn(std::string_view name) const {
+  return FindColumn(name) != nullptr;
+}
+
+void Dataset::EnsureColumn(std::string_view name) {
+  if (FindColumn(name) != nullptr) return;
+  ColumnData col;
+  col.name = std::string(name);
+  col.cells.assign(num_rows_, json::Value(nullptr));
+  columns_.push_back(std::move(col));
+}
+
+Status Dataset::RenameColumn(std::string_view from, std::string_view to) {
+  if (FindColumn(to) != nullptr) {
+    return Status::AlreadyExists("column '" + std::string(to) + "' exists");
+  }
+  ColumnData* col = FindColumn(from);
+  if (col == nullptr) {
+    return Status::NotFound("column '" + std::string(from) + "' not found");
+  }
+  col->name = std::string(to);
+  return Status::Ok();
+}
+
+void Dataset::RemoveColumn(std::string_view name) {
+  for (auto it = columns_.begin(); it != columns_.end(); ++it) {
+    if (it->name == name) {
+      columns_.erase(it);
+      return;
+    }
+  }
+}
+
+const json::Value& Dataset::Cell(std::string_view column, size_t row) const {
+  const ColumnData* col = FindColumn(column);
+  assert(col != nullptr && row < num_rows_);
+  return col->cells[row];
+}
+
+json::Value* Dataset::MutableCell(std::string_view column, size_t row) {
+  ColumnData* col = FindColumn(column);
+  if (col == nullptr || row >= num_rows_) return nullptr;
+  return &col->cells[row];
+}
+
+const std::vector<json::Value>* Dataset::Column(std::string_view name) const {
+  const ColumnData* col = FindColumn(name);
+  return col == nullptr ? nullptr : &col->cells;
+}
+
+const json::Value* Dataset::GetPath(size_t row,
+                                    std::string_view dot_path) const {
+  size_t dot = dot_path.find('.');
+  std::string_view head =
+      dot == std::string_view::npos ? dot_path : dot_path.substr(0, dot);
+  const ColumnData* col = FindColumn(head);
+  if (col == nullptr || row >= num_rows_) return nullptr;
+  const json::Value* cell = &col->cells[row];
+  if (dot == std::string_view::npos) return cell;
+  if (!cell->is_object()) return nullptr;
+  return FindPath(cell->as_object(), dot_path.substr(dot + 1));
+}
+
+std::string_view Dataset::GetTextAt(size_t row,
+                                    std::string_view dot_path) const {
+  const json::Value* v = GetPath(row, dot_path);
+  if (v == nullptr || !v->is_string()) return {};
+  return v->as_string();
+}
+
+double Dataset::GetNumberAt(size_t row, std::string_view dot_path,
+                            double def) const {
+  const json::Value* v = GetPath(row, dot_path);
+  if (v == nullptr || !v->is_number()) return def;
+  return v->as_double();
+}
+
+Sample Dataset::MaterializeRow(size_t row) const {
+  json::Object fields;
+  for (const auto& col : columns_) {
+    if (col.cells[row].is_null()) continue;
+    fields.Set(col.name, col.cells[row]);
+  }
+  return Sample(std::move(fields));
+}
+
+void Dataset::AppendSample(const Sample& sample) {
+  // Extend existing columns with this row's values (or null).
+  for (auto& col : columns_) {
+    const json::Value* v = sample.fields().Find(col.name);
+    col.cells.push_back(v != nullptr ? *v : json::Value(nullptr));
+  }
+  // Any new top-level keys become new columns, backfilled with nulls.
+  for (const auto& [key, value] : sample.fields().entries()) {
+    if (FindColumn(key) != nullptr) continue;
+    ColumnData col;
+    col.name = key;
+    col.cells.assign(num_rows_, json::Value(nullptr));
+    col.cells.push_back(value);
+    columns_.push_back(std::move(col));
+  }
+  ++num_rows_;
+}
+
+Status Dataset::Map(const std::function<Status(RowRef)>& fn,
+                    ThreadPool* pool) {
+  if (num_rows_ == 0) return Status::Ok();
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (size_t i = 0; i < num_rows_; ++i) {
+      DJ_RETURN_IF_ERROR(fn(RowRef(this, i)));
+    }
+    return Status::Ok();
+  }
+  std::mutex err_mutex;
+  Status first_error;
+  std::atomic<bool> failed{false};
+  pool->ParallelFor(num_rows_, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      Status s = fn(RowRef(this, i));
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(err_mutex);
+        if (first_error.ok()) first_error = std::move(s);
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+  return first_error;
+}
+
+Result<Dataset> Dataset::Filter(
+    const std::function<Result<bool>(RowRef)>& pred, ThreadPool* pool,
+    std::vector<bool>* kept) {
+  std::vector<bool> mask(num_rows_, false);
+  std::mutex err_mutex;
+  Status first_error;
+  auto run = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      Result<bool> r = pred(RowRef(this, i));
+      if (!r.ok()) {
+        std::lock_guard<std::mutex> lock(err_mutex);
+        if (first_error.ok()) first_error = r.status();
+        return;
+      }
+      mask[i] = r.value();
+    }
+  };
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    run(0, num_rows_);
+  } else {
+    // std::vector<bool> is bit-packed; adjacent writes from different chunks
+    // could race. Use a byte vector and copy.
+    std::vector<uint8_t> bytes(num_rows_, 0);
+    auto run_bytes = [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        Result<bool> r = pred(RowRef(this, i));
+        if (!r.ok()) {
+          std::lock_guard<std::mutex> lock(err_mutex);
+          if (first_error.ok()) first_error = r.status();
+          return;
+        }
+        bytes[i] = r.value() ? 1 : 0;
+      }
+    };
+    pool->ParallelFor(num_rows_, run_bytes);
+    for (size_t i = 0; i < num_rows_; ++i) mask[i] = bytes[i] != 0;
+  }
+  if (!first_error.ok()) return first_error;
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < num_rows_; ++i) {
+    if (mask[i]) indices.push_back(i);
+  }
+  if (kept != nullptr) *kept = std::move(mask);
+  return Select(indices);
+}
+
+Dataset Dataset::Select(const std::vector<size_t>& indices) const {
+  Dataset out;
+  out.num_rows_ = indices.size();
+  out.columns_.reserve(columns_.size());
+  for (const auto& col : columns_) {
+    ColumnData nc;
+    nc.name = col.name;
+    nc.cells.reserve(indices.size());
+    for (size_t idx : indices) {
+      assert(idx < num_rows_);
+      nc.cells.push_back(col.cells[idx]);
+    }
+    out.columns_.push_back(std::move(nc));
+  }
+  return out;
+}
+
+Dataset Dataset::Slice(size_t begin, size_t end) const {
+  if (end > num_rows_) end = num_rows_;
+  if (begin > end) begin = end;
+  std::vector<size_t> indices;
+  indices.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) indices.push_back(i);
+  return Select(indices);
+}
+
+void Dataset::Concat(const Dataset& other) {
+  // Pad columns missing on either side with nulls.
+  for (auto& col : columns_) {
+    const ColumnData* oc = other.FindColumn(col.name);
+    if (oc != nullptr) {
+      col.cells.insert(col.cells.end(), oc->cells.begin(), oc->cells.end());
+    } else {
+      col.cells.resize(col.cells.size() + other.num_rows_,
+                       json::Value(nullptr));
+    }
+  }
+  for (const auto& oc : other.columns_) {
+    if (FindColumn(oc.name) != nullptr) continue;
+    ColumnData nc;
+    nc.name = oc.name;
+    nc.cells.assign(num_rows_, json::Value(nullptr));
+    nc.cells.insert(nc.cells.end(), oc.cells.begin(), oc.cells.end());
+    columns_.push_back(std::move(nc));
+  }
+  num_rows_ += other.num_rows_;
+}
+
+uint64_t ApproxValueBytes(const json::Value& v) {
+  constexpr uint64_t kBase = sizeof(json::Value);
+  switch (v.type()) {
+    case json::Value::Type::kString:
+      return kBase + v.as_string().capacity();
+    case json::Value::Type::kArray: {
+      uint64_t total = kBase;
+      for (const auto& e : v.as_array()) total += ApproxValueBytes(e);
+      return total;
+    }
+    case json::Value::Type::kObject: {
+      uint64_t total = kBase;
+      for (const auto& [key, value] : v.as_object().entries()) {
+        total += key.capacity() + ApproxValueBytes(value);
+      }
+      return total;
+    }
+    default:
+      return kBase;
+  }
+}
+
+uint64_t Dataset::ApproxMemoryBytes() const {
+  uint64_t total = 0;
+  for (const auto& col : columns_) {
+    total += col.name.capacity() + sizeof(ColumnData);
+    for (const auto& cell : col.cells) total += ApproxValueBytes(cell);
+  }
+  return total;
+}
+
+std::vector<Sample> Dataset::ToSamples() const {
+  std::vector<Sample> out;
+  out.reserve(num_rows_);
+  for (size_t i = 0; i < num_rows_; ++i) out.push_back(MaterializeRow(i));
+  return out;
+}
+
+Dataset::ColumnData* Dataset::FindColumn(std::string_view name) {
+  for (auto& c : columns_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const Dataset::ColumnData* Dataset::FindColumn(std::string_view name) const {
+  for (const auto& c : columns_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace dj::data

@@ -1,0 +1,383 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/string_util.h"
+#include "compress/djlz.h"
+#include "json/parser.h"
+#include "json/writer.h"
+
+namespace dj::data {
+namespace {
+
+constexpr char kDatasetMagic[4] = {'D', 'J', 'D', 'S'};
+constexpr uint8_t kDatasetVersion = 1;
+
+// Value tags for the binary codec.
+enum : uint8_t {
+  kTagNull = 0,
+  kTagFalse = 1,
+  kTagTrue = 2,
+  kTagInt = 3,
+  kTagDouble = 4,
+  kTagString = 5,
+  kTagArray = 6,
+  kTagObject = 7,
+};
+
+void PutVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(std::string_view bytes, size_t* pos, uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*pos < bytes.size() && shift <= 63) {
+    uint8_t b = static_cast<uint8_t>(bytes[*pos]);
+    ++*pos;
+    v |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+void PutString(std::string_view s, std::string* out) {
+  PutVarint(s.size(), out);
+  out->append(s);
+}
+
+bool GetString(std::string_view bytes, size_t* pos, std::string* out) {
+  uint64_t len = 0;
+  if (!GetVarint(bytes, pos, &len)) return false;
+  if (*pos + len > bytes.size()) return false;
+  out->assign(bytes.substr(*pos, len));
+  *pos += len;
+  return true;
+}
+
+Status DeserializeValueAt(std::string_view bytes, size_t* pos,
+                          json::Value* out, int depth) {
+  if (depth > 256) return Status::Corruption("value nesting too deep");
+  if (*pos >= bytes.size()) return Status::Corruption("truncated value");
+  uint8_t tag = static_cast<uint8_t>(bytes[(*pos)++]);
+  switch (tag) {
+    case kTagNull:
+      *out = json::Value(nullptr);
+      return Status::Ok();
+    case kTagFalse:
+      *out = json::Value(false);
+      return Status::Ok();
+    case kTagTrue:
+      *out = json::Value(true);
+      return Status::Ok();
+    case kTagInt: {
+      uint64_t zz = 0;
+      if (!GetVarint(bytes, pos, &zz)) {
+        return Status::Corruption("truncated int");
+      }
+      int64_t v = static_cast<int64_t>(zz >> 1) ^ -static_cast<int64_t>(zz & 1);
+      *out = json::Value(v);
+      return Status::Ok();
+    }
+    case kTagDouble: {
+      if (*pos + 8 > bytes.size()) return Status::Corruption("truncated double");
+      uint64_t bits = 0;
+      std::memcpy(&bits, bytes.data() + *pos, 8);
+      *pos += 8;
+      double d;
+      std::memcpy(&d, &bits, 8);
+      *out = json::Value(d);
+      return Status::Ok();
+    }
+    case kTagString: {
+      std::string s;
+      if (!GetString(bytes, pos, &s)) {
+        return Status::Corruption("truncated string");
+      }
+      *out = json::Value(std::move(s));
+      return Status::Ok();
+    }
+    case kTagArray: {
+      uint64_t n = 0;
+      if (!GetVarint(bytes, pos, &n)) {
+        return Status::Corruption("truncated array size");
+      }
+      json::Array arr;
+      arr.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        json::Value v;
+        DJ_RETURN_IF_ERROR(DeserializeValueAt(bytes, pos, &v, depth + 1));
+        arr.push_back(std::move(v));
+      }
+      *out = json::Value(std::move(arr));
+      return Status::Ok();
+    }
+    case kTagObject: {
+      uint64_t n = 0;
+      if (!GetVarint(bytes, pos, &n)) {
+        return Status::Corruption("truncated object size");
+      }
+      json::Object obj;
+      for (uint64_t i = 0; i < n; ++i) {
+        std::string key;
+        if (!GetString(bytes, pos, &key)) {
+          return Status::Corruption("truncated object key");
+        }
+        json::Value v;
+        DJ_RETURN_IF_ERROR(DeserializeValueAt(bytes, pos, &v, depth + 1));
+        obj.Set(std::move(key), std::move(v));
+      }
+      *out = json::Value(std::move(obj));
+      return Status::Ok();
+    }
+    default:
+      return Status::Corruption("unknown value tag");
+  }
+}
+
+}  // namespace
+
+Result<std::string> ReadFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  bool had_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (had_error) return Status::IoError("read error on '" + path + "'");
+  return out;
+}
+
+Status WriteFile(const std::string& path, std::string_view content) {
+  std::error_code ec;
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  bool had_error = std::ferror(f) != 0 || written != content.size();
+  if (std::fclose(f) != 0) had_error = true;
+  if (had_error) return Status::IoError("write error on '" + path + "'");
+  return Status::Ok();
+}
+
+Result<Dataset> ParseJsonl(std::string_view content) {
+  Dataset ds;
+  size_t lineno = 0;
+  for (const std::string& line : SplitLines(content)) {
+    ++lineno;
+    std::string_view body = StripAsciiWhitespace(line);
+    if (body.empty()) continue;
+    auto r = json::ParseStrict(body);
+    if (!r.ok()) {
+      return Status::Corruption("jsonl line " + std::to_string(lineno) + ": " +
+                                r.status().message());
+    }
+    if (!r.value().is_object()) {
+      return Status::Corruption("jsonl line " + std::to_string(lineno) +
+                                ": expected an object");
+    }
+    ds.AppendSample(Sample(std::move(r.value().as_object())));
+  }
+  return ds;
+}
+
+Result<Dataset> ReadJsonl(const std::string& path) {
+  DJ_ASSIGN_OR_RETURN(std::string content, ReadFile(path));
+  auto r = ParseJsonl(content);
+  if (!r.ok()) {
+    return Status::Corruption(path + ": " + r.status().message());
+  }
+  return r;
+}
+
+std::string ToJsonl(const Dataset& dataset) {
+  std::string out;
+  for (size_t i = 0; i < dataset.NumRows(); ++i) {
+    Sample s = dataset.MaterializeRow(i);
+    out += json::Write(json::Value(s.fields()));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteJsonl(const Dataset& dataset, const std::string& path) {
+  return WriteFile(path, ToJsonl(dataset));
+}
+
+void SerializeValue(const json::Value& v, std::string* out) {
+  switch (v.type()) {
+    case json::Value::Type::kNull:
+      out->push_back(static_cast<char>(kTagNull));
+      break;
+    case json::Value::Type::kBool:
+      out->push_back(static_cast<char>(v.as_bool() ? kTagTrue : kTagFalse));
+      break;
+    case json::Value::Type::kInt: {
+      out->push_back(static_cast<char>(kTagInt));
+      int64_t x = v.as_int();
+      uint64_t zz = (static_cast<uint64_t>(x) << 1) ^
+                    static_cast<uint64_t>(x >> 63);
+      PutVarint(zz, out);
+      break;
+    }
+    case json::Value::Type::kDouble: {
+      out->push_back(static_cast<char>(kTagDouble));
+      double d = v.as_double();
+      uint64_t bits;
+      std::memcpy(&bits, &d, 8);
+      char buf[8];
+      std::memcpy(buf, &bits, 8);
+      out->append(buf, 8);
+      break;
+    }
+    case json::Value::Type::kString:
+      out->push_back(static_cast<char>(kTagString));
+      PutString(v.as_string(), out);
+      break;
+    case json::Value::Type::kArray: {
+      out->push_back(static_cast<char>(kTagArray));
+      PutVarint(v.as_array().size(), out);
+      for (const auto& e : v.as_array()) SerializeValue(e, out);
+      break;
+    }
+    case json::Value::Type::kObject: {
+      out->push_back(static_cast<char>(kTagObject));
+      PutVarint(v.as_object().size(), out);
+      for (const auto& [key, value] : v.as_object().entries()) {
+        PutString(key, out);
+        SerializeValue(value, out);
+      }
+      break;
+    }
+  }
+}
+
+Result<json::Value> DeserializeValue(std::string_view bytes) {
+  size_t pos = 0;
+  json::Value v;
+  DJ_RETURN_IF_ERROR(DeserializeValueAt(bytes, &pos, &v, 0));
+  if (pos != bytes.size()) {
+    return Status::Corruption("trailing bytes after value");
+  }
+  return v;
+}
+
+std::string SerializeDataset(const Dataset& dataset) {
+  std::string out;
+  out.append(kDatasetMagic, 4);
+  out.push_back(static_cast<char>(kDatasetVersion));
+  PutVarint(dataset.NumRows(), &out);
+  std::vector<std::string> names = dataset.ColumnNames();
+  PutVarint(names.size(), &out);
+  for (const std::string& name : names) {
+    PutString(name, &out);
+    const auto* cells = dataset.Column(name);
+    for (const auto& cell : *cells) SerializeValue(cell, &out);
+  }
+  return out;
+}
+
+Result<Dataset> DeserializeDataset(std::string_view bytes) {
+  if (bytes.size() < 5 || std::memcmp(bytes.data(), kDatasetMagic, 4) != 0) {
+    return Status::Corruption("not a DJDS dataset blob");
+  }
+  if (static_cast<uint8_t>(bytes[4]) != kDatasetVersion) {
+    return Status::Corruption("unsupported DJDS version");
+  }
+  size_t pos = 5;
+  uint64_t num_rows = 0, num_cols = 0;
+  if (!GetVarint(bytes, &pos, &num_rows) ||
+      !GetVarint(bytes, &pos, &num_cols)) {
+    return Status::Corruption("truncated DJDS header");
+  }
+  // Rebuild through samples to keep the Dataset constructor surface small.
+  std::vector<Sample> rows(num_rows);
+  std::vector<std::string> col_names;
+  std::vector<std::vector<json::Value>> cols;
+  for (uint64_t c = 0; c < num_cols; ++c) {
+    std::string name;
+    if (!GetString(bytes, &pos, &name)) {
+      return Status::Corruption("truncated column name");
+    }
+    std::vector<json::Value> cells;
+    cells.reserve(num_rows);
+    for (uint64_t r = 0; r < num_rows; ++r) {
+      json::Value v;
+      DJ_RETURN_IF_ERROR(DeserializeValueAt(bytes, &pos, &v, 0));
+      cells.push_back(std::move(v));
+    }
+    col_names.push_back(std::move(name));
+    cols.push_back(std::move(cells));
+  }
+  if (pos != bytes.size()) {
+    return Status::Corruption("trailing bytes in DJDS blob");
+  }
+  Dataset ds;
+  // Preserve null cells exactly: build row objects including nulls, then
+  // strip is not needed because AppendSample keeps value as provided.
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    json::Object fields;
+    for (uint64_t c = 0; c < num_cols; ++c) {
+      fields.Set(col_names[c], std::move(cols[c][r]));
+    }
+    ds.AppendSample(Sample(std::move(fields)));
+  }
+  // Edge case: zero rows but named columns — recreate the columns.
+  if (num_rows == 0) {
+    for (const auto& name : col_names) ds.EnsureColumn(name);
+  }
+  return ds;
+}
+
+Status ExportDataset(const Dataset& dataset, const std::string& path) {
+  if (EndsWith(path, ".jsonl")) return WriteJsonl(dataset, path);
+  if (EndsWith(path, ".djds.djlz")) {
+    return WriteFile(path,
+                     compress::CompressFrame(SerializeDataset(dataset)));
+  }
+  if (EndsWith(path, ".djds")) {
+    return WriteFile(path, SerializeDataset(dataset));
+  }
+  return Status::InvalidArgument(
+      "unsupported export suffix for '" + path +
+      "' (use .jsonl, .djds, or .djds.djlz)");
+}
+
+Result<Dataset> ImportDataset(const std::string& path) {
+  if (EndsWith(path, ".jsonl")) return ReadJsonl(path);
+  if (EndsWith(path, ".djds.djlz")) {
+    DJ_ASSIGN_OR_RETURN(std::string frame, ReadFile(path));
+    DJ_ASSIGN_OR_RETURN(std::string blob, compress::DecompressFrame(frame));
+    return DeserializeDataset(blob);
+  }
+  if (EndsWith(path, ".djds")) {
+    DJ_ASSIGN_OR_RETURN(std::string blob, ReadFile(path));
+    return DeserializeDataset(blob);
+  }
+  return Status::InvalidArgument(
+      "unsupported import suffix for '" + path +
+      "' (use .jsonl, .djds, or .djds.djlz)");
+}
+
+}  // namespace dj::data

@@ -1,0 +1,50 @@
+#ifndef DJ_DATA_IO_H_
+#define DJ_DATA_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace dj::data {
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Writes `content` to `path`, creating parent directories.
+Status WriteFile(const std::string& path, std::string_view content);
+
+/// Parses JSON-Lines content: one strict-JSON object per non-empty line.
+Result<Dataset> ParseJsonl(std::string_view content);
+
+/// Reads a .jsonl file into a dataset.
+Result<Dataset> ReadJsonl(const std::string& path);
+
+/// Serializes the dataset as JSONL (null cells omitted, one row per line).
+std::string ToJsonl(const Dataset& dataset);
+
+/// Writes the dataset to a .jsonl file.
+Status WriteJsonl(const Dataset& dataset, const std::string& path);
+
+/// Binary cache codec for datasets (magic "DJDS"). Deterministic; used by
+/// the per-OP cache and checkpoint layers, optionally djlz-compressed there.
+std::string SerializeDataset(const Dataset& dataset);
+Result<Dataset> DeserializeDataset(std::string_view bytes);
+
+/// Binary codec for a single JSON value (shared with the dataset codec).
+void SerializeValue(const json::Value& v, std::string* out);
+Result<json::Value> DeserializeValue(std::string_view bytes);
+
+/// Suffix-dispatched export: ".jsonl" (text), ".djds" (binary), or
+/// ".djds.djlz" (binary, djlz-compressed). The compressed form is what the
+/// cache layer writes; exposing it here lets pipelines ship compact
+/// processed datasets.
+Status ExportDataset(const Dataset& dataset, const std::string& path);
+
+/// Inverse of ExportDataset (same suffix dispatch).
+Result<Dataset> ImportDataset(const std::string& path);
+
+}  // namespace dj::data
+
+#endif  // DJ_DATA_IO_H_

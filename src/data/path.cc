@@ -1,0 +1,79 @@
+#include "data/path.h"
+
+namespace dj::data {
+
+std::vector<std::string> SplitPath(std::string_view dot_path) {
+  std::vector<std::string> out;
+  if (dot_path.empty()) return out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = dot_path.find('.', start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(dot_path.substr(start));
+      break;
+    }
+    out.emplace_back(dot_path.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+const json::Value* FindPath(const json::Object& root,
+                            std::string_view dot_path) {
+  const json::Object* obj = &root;
+  size_t start = 0;
+  while (true) {
+    size_t pos = dot_path.find('.', start);
+    std::string_view seg = pos == std::string_view::npos
+                               ? dot_path.substr(start)
+                               : dot_path.substr(start, pos - start);
+    const json::Value* v = obj->Find(seg);
+    if (v == nullptr) return nullptr;
+    if (pos == std::string_view::npos) return v;
+    if (!v->is_object()) return nullptr;
+    obj = &v->as_object();
+    start = pos + 1;
+  }
+}
+
+json::Value* FindPath(json::Object& root, std::string_view dot_path) {
+  return const_cast<json::Value*>(
+      FindPath(static_cast<const json::Object&>(root), dot_path));
+}
+
+bool SetPath(json::Object& root, std::string_view dot_path,
+             json::Value value) {
+  json::Object* obj = &root;
+  size_t start = 0;
+  while (true) {
+    size_t pos = dot_path.find('.', start);
+    std::string seg(pos == std::string_view::npos
+                        ? dot_path.substr(start)
+                        : dot_path.substr(start, pos - start));
+    if (pos == std::string_view::npos) {
+      obj->Set(std::move(seg), std::move(value));
+      return true;
+    }
+    json::Value* next = obj->Find(seg);
+    if (next == nullptr) {
+      obj->Set(seg, json::Value(json::Object()));
+      next = obj->Find(seg);
+    } else if (!next->is_object()) {
+      return false;
+    }
+    obj = &next->as_object();
+    start = pos + 1;
+  }
+}
+
+bool RemovePath(json::Object& root, std::string_view dot_path) {
+  size_t pos = dot_path.rfind('.');
+  if (pos == std::string_view::npos) {
+    return root.Erase(dot_path);
+  }
+  json::Value* parent = FindPath(root, dot_path.substr(0, pos));
+  if (parent == nullptr || !parent->is_object()) return false;
+  return parent->as_object().Erase(dot_path.substr(pos + 1));
+}
+
+}  // namespace dj::data

@@ -1,0 +1,36 @@
+#ifndef DJ_DATA_PATH_H_
+#define DJ_DATA_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/value.h"
+
+namespace dj::data {
+
+/// Dot-delimited nested field access ("text.instruction", "meta.language"),
+/// the unified data representation of paper Sec. 4.1 / Sec. 7 ("Optimized
+/// Data Unification"). Paths never index arrays; segments address object
+/// keys only.
+
+/// Splits "a.b.c" into {"a","b","c"}. An empty path yields an empty vector.
+std::vector<std::string> SplitPath(std::string_view dot_path);
+
+/// Returns the value at `dot_path` inside `root`, or nullptr if any segment
+/// is missing or a non-object is traversed.
+const json::Value* FindPath(const json::Object& root,
+                            std::string_view dot_path);
+json::Value* FindPath(json::Object& root, std::string_view dot_path);
+
+/// Sets `value` at `dot_path`, creating intermediate objects. Fails only if
+/// an intermediate segment exists with a non-object type.
+bool SetPath(json::Object& root, std::string_view dot_path,
+             json::Value value);
+
+/// Removes the value at `dot_path`. Returns whether something was removed.
+bool RemovePath(json::Object& root, std::string_view dot_path);
+
+}  // namespace dj::data
+
+#endif  // DJ_DATA_PATH_H_

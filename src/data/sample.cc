@@ -1,0 +1,23 @@
+#include "data/sample.h"
+
+namespace dj::data {
+
+Sample Sample::FromText(std::string text) {
+  json::Object fields;
+  fields.Set(std::string(kTextField), json::Value(std::move(text)));
+  return Sample(std::move(fields));
+}
+
+std::string_view Sample::GetText(std::string_view dot_path) const {
+  const json::Value* v = Get(dot_path);
+  if (v == nullptr || !v->is_string()) return {};
+  return v->as_string();
+}
+
+double Sample::GetNumber(std::string_view dot_path, double def) const {
+  const json::Value* v = Get(dot_path);
+  if (v == nullptr || !v->is_number()) return def;
+  return v->as_double();
+}
+
+}  // namespace dj::data

@@ -1,0 +1,63 @@
+#ifndef DJ_DATA_SAMPLE_H_
+#define DJ_DATA_SAMPLE_H_
+
+#include <string>
+#include <string_view>
+
+#include "data/path.h"
+#include "json/value.h"
+
+namespace dj::data {
+
+/// Canonical field names of the unified representation (paper Sec. 4.1):
+/// "text" holds raw textual data, "meta" holds metadata, "stats" holds
+/// per-sample statistics produced and consumed by OPs and tools.
+inline constexpr std::string_view kTextField = "text";
+inline constexpr std::string_view kMetaField = "meta";
+inline constexpr std::string_view kStatsField = "stats";
+
+/// A single data sample: an ordered JSON object with nested dot-path access.
+/// Used as the materialized row type; the columnar Dataset exposes rows
+/// through the compatible RowRef view.
+class Sample {
+ public:
+  Sample() = default;
+  explicit Sample(json::Object fields) : fields_(std::move(fields)) {}
+
+  /// Builds a sample holding only `text` under the "text" field.
+  static Sample FromText(std::string text);
+
+  const json::Object& fields() const { return fields_; }
+  json::Object& fields() { return fields_; }
+
+  /// Nested access; see data/path.h for path semantics.
+  const json::Value* Get(std::string_view dot_path) const {
+    return FindPath(fields_, dot_path);
+  }
+  json::Value* GetMutable(std::string_view dot_path) {
+    return FindPath(fields_, dot_path);
+  }
+  bool Set(std::string_view dot_path, json::Value value) {
+    return SetPath(fields_, dot_path, std::move(value));
+  }
+  bool Remove(std::string_view dot_path) {
+    return RemovePath(fields_, dot_path);
+  }
+
+  /// The string at `dot_path`, or "" when missing / not a string.
+  std::string_view GetText(std::string_view dot_path = kTextField) const;
+
+  /// The numeric value at `dot_path`, or `def` when missing / non-numeric.
+  double GetNumber(std::string_view dot_path, double def = 0.0) const;
+
+  friend bool operator==(const Sample& a, const Sample& b) {
+    return a.fields_ == b.fields_;
+  }
+
+ private:
+  json::Object fields_;
+};
+
+}  // namespace dj::data
+
+#endif  // DJ_DATA_SAMPLE_H_

@@ -1,0 +1,25 @@
+#include "dist/cluster.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dj::dist {
+
+double EffectiveSpeedup(int workers, double efficiency) {
+  if (workers <= 1) return 1.0;
+  return std::pow(static_cast<double>(workers), efficiency);
+}
+
+std::string DistributedReport::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%-12s nodes=%-3zu rows %zu -> %zu  load=%.2fs compute=%.2fs "
+      "shuffle=%.2fs overhead=%.2fs  total=%.2fs (measured local %.2fs)",
+      backend.c_str(), num_nodes, rows_in, rows_out, load_seconds,
+      compute_seconds, shuffle_seconds, overhead_seconds, total_seconds,
+      measured_compute_seconds);
+  return std::string(buf);
+}
+
+}  // namespace dj::dist

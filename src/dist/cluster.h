@@ -1,0 +1,61 @@
+#ifndef DJ_DIST_CLUSTER_H_
+#define DJ_DIST_CLUSTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dj::dist {
+
+/// Cost model of a simulated cluster. Real clusters are unavailable in this
+/// environment, so the distributed executors *actually process* the data on
+/// this machine (sharded, so results are bit-identical to a cluster run)
+/// and *model* the cluster wall-clock from measured per-shard compute time
+/// plus these parameters. The parameters default to NAS/20Gbps-class values
+/// scaled to the synthetic corpus sizes (paper Appendix B.3.4).
+struct ClusterOptions {
+  size_t num_nodes = 1;
+  int workers_per_node = 4;
+
+  /// Per-MiB cost of loading input data from shared (NAS) storage. The
+  /// paper's corpora are 65-140GB where loading dominates; scaling the
+  /// per-MiB rate up reproduces that regime on MiB-sized synthetic data.
+  double load_seconds_per_mib = 2.0;
+  /// Per-MiB cost of loading from node-local disk (single-node executor).
+  double local_load_seconds_per_mib = 0.4;
+  /// Per-MiB cost of moving data across the network (shuffles, broadcasts).
+  double network_seconds_per_mib = 0.05;
+  /// Fixed orchestration cost per node per stage (task scheduling, worker
+  /// startup).
+  double scheduling_overhead_seconds = 0.02;
+  /// Intra-node parallel efficiency: effective speedup of w workers is
+  /// w^efficiency (1.0 = perfect scaling).
+  double parallel_efficiency = 0.9;
+};
+
+/// Modeled + measured timing of a distributed run.
+struct DistributedReport {
+  std::string backend;
+  size_t num_nodes = 0;
+  size_t rows_in = 0;
+  size_t rows_out = 0;
+  uint64_t input_bytes = 0;
+
+  double load_seconds = 0;      ///< modeled data loading time
+  double compute_seconds = 0;   ///< modeled parallel compute time
+  double shuffle_seconds = 0;   ///< modeled network/shuffle time
+  double overhead_seconds = 0;  ///< modeled scheduling overhead
+  double total_seconds = 0;     ///< modeled wall-clock
+
+  double measured_compute_seconds = 0;  ///< real local single-thread time
+
+  std::string ToString() const;
+};
+
+/// Effective speedup of `workers` parallel workers under the efficiency
+/// model.
+double EffectiveSpeedup(int workers, double efficiency);
+
+}  // namespace dj::dist
+
+#endif  // DJ_DIST_CLUSTER_H_

@@ -1,0 +1,176 @@
+#include "dist/distributed_executor.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+
+namespace dj::dist {
+namespace {
+
+constexpr double kMiB = 1024.0 * 1024.0;
+
+/// Splits a pipeline into alternating segments of row-local OPs
+/// (Mappers/Filters — embarrassingly parallel across shards) and
+/// dataset-level OPs (Deduplicators — require a global view / shuffle).
+struct Segment {
+  std::vector<ops::Op*> row_local;
+  ops::Op* global = nullptr;  // a deduplicator
+};
+
+std::vector<Segment> SplitSegments(
+    const std::vector<std::unique_ptr<ops::Op>>& ops) {
+  std::vector<Segment> segments;
+  Segment current;
+  for (const auto& op : ops) {
+    if (op->kind() == ops::OpKind::kDeduplicator) {
+      if (!current.row_local.empty()) {
+        segments.push_back(std::move(current));
+        current = Segment();
+      }
+      Segment global;
+      global.global = op.get();
+      segments.push_back(std::move(global));
+    } else {
+      current.row_local.push_back(op.get());
+    }
+  }
+  if (!current.row_local.empty()) segments.push_back(std::move(current));
+  return segments;
+}
+
+std::vector<data::Dataset> Shard(const data::Dataset& ds, size_t n) {
+  std::vector<data::Dataset> shards;
+  if (n == 0) n = 1;
+  size_t rows = ds.NumRows();
+  size_t per = (rows + n - 1) / std::max<size_t>(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    size_t begin = std::min(i * per, rows);
+    size_t end = std::min(begin + per, rows);
+    shards.push_back(ds.Slice(begin, end));
+  }
+  return shards;
+}
+
+data::Dataset Merge(std::vector<data::Dataset>* shards) {
+  data::Dataset out;
+  for (data::Dataset& shard : *shards) out.Concat(shard);
+  shards->clear();
+  return out;
+}
+
+}  // namespace
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kSingleNode:
+      return "data-juicer";
+    case Backend::kRay:
+      return "dj-on-ray";
+    case Backend::kBeam:
+      return "dj-on-beam";
+  }
+  return "unknown";
+}
+
+DistributedExecutor::DistributedExecutor(Options options)
+    : options_(options) {}
+
+Result<data::Dataset> DistributedExecutor::Run(
+    data::Dataset dataset, const std::vector<std::unique_ptr<ops::Op>>& ops,
+    DistributedReport* report) {
+  const ClusterOptions& cluster = options_.cluster;
+  size_t nodes = std::max<size_t>(cluster.num_nodes, 1);
+  bool distributed = options_.backend != Backend::kSingleNode;
+  if (!distributed) nodes = 1;
+
+  DistributedReport local;
+  DistributedReport* rep = report != nullptr ? report : &local;
+  rep->backend = BackendName(options_.backend);
+  rep->num_nodes = nodes;
+  rep->rows_in = dataset.NumRows();
+  rep->input_bytes = dataset.ApproxMemoryBytes();
+
+  double input_mib = static_cast<double>(rep->input_bytes) / kMiB;
+  double node_speedup =
+      EffectiveSpeedup(cluster.workers_per_node, cluster.parallel_efficiency);
+
+  // --- Modeled data loading ---------------------------------------------
+  switch (options_.backend) {
+    case Backend::kSingleNode:
+      // Node-local disk read, one stream (no NAS hop).
+      rep->load_seconds = input_mib * cluster.local_load_seconds_per_mib;
+      break;
+    case Backend::kRay:
+      // Every node pulls its own shard from shared storage concurrently.
+      rep->load_seconds = (input_mib / static_cast<double>(nodes)) *
+                          cluster.load_seconds_per_mib;
+      break;
+    case Backend::kBeam:
+      // The paper's measured bottleneck: the Beam loading component is a
+      // serial driver-side stage — it does not shrink with nodes.
+      rep->load_seconds = input_mib * cluster.load_seconds_per_mib;
+      break;
+  }
+  if (distributed) {
+    rep->overhead_seconds =
+        cluster.scheduling_overhead_seconds * static_cast<double>(nodes);
+  }
+
+  // --- Real processing + modeled compute time ---------------------------
+  core::Executor::Options exec_options;
+  exec_options.num_workers = 1;  // measure single-thread shard time
+  exec_options.op_fusion = options_.op_fusion;
+  exec_options.op_reorder = options_.op_reorder;
+  core::Executor shard_executor(exec_options);
+
+  std::vector<Segment> segments = SplitSegments(ops);
+  std::vector<data::Dataset> shards = Shard(dataset, nodes);
+  dataset = data::Dataset();  // released; state lives in shards
+
+  for (const Segment& segment : segments) {
+    if (segment.global == nullptr) {
+      // Row-local segment: every node processes its shard independently.
+      double slowest_node = 0;
+      for (data::Dataset& shard : shards) {
+        Stopwatch watch;
+        auto processed =
+            shard_executor.Run(std::move(shard), segment.row_local, nullptr);
+        if (!processed.ok()) return processed.status();
+        shard = std::move(processed).value();
+        double measured = watch.ElapsedSeconds();
+        rep->measured_compute_seconds += measured;
+        slowest_node = std::max(slowest_node, measured / node_speedup);
+      }
+      rep->compute_seconds += slowest_node;
+    } else {
+      // Dataset-level OP: shuffle all shards to the driver, run globally,
+      // re-shard. The shuffle cost is paid on the network for distributed
+      // backends.
+      if (distributed && nodes > 1) {
+        double current_mib = 0;
+        for (const data::Dataset& shard : shards) {
+          current_mib += static_cast<double>(shard.ApproxMemoryBytes()) / kMiB;
+        }
+        rep->shuffle_seconds +=
+            current_mib * cluster.network_seconds_per_mib;
+      }
+      data::Dataset merged = Merge(&shards);
+      std::vector<ops::Op*> single{segment.global};
+      Stopwatch watch;
+      auto processed = shard_executor.Run(std::move(merged), single, nullptr);
+      if (!processed.ok()) return processed.status();
+      double measured = watch.ElapsedSeconds();
+      rep->measured_compute_seconds += measured;
+      rep->compute_seconds += measured / node_speedup;
+      shards = Shard(processed.value(), nodes);
+    }
+  }
+
+  data::Dataset result = Merge(&shards);
+  rep->rows_out = result.NumRows();
+  rep->total_seconds = rep->load_seconds + rep->compute_seconds +
+                       rep->shuffle_seconds + rep->overhead_seconds;
+  return result;
+}
+
+}  // namespace dj::dist

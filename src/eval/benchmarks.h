@@ -1,0 +1,53 @@
+#ifndef DJ_EVAL_BENCHMARKS_H_
+#define DJ_EVAL_BENCHMARKS_H_
+
+#include <string>
+#include <vector>
+
+#include "text/ngram_lm.h"
+
+namespace dj::eval {
+
+/// One proxy benchmark task: a named held-out evaluation text set. The
+/// task's score for a model is a perplexity-derived value in [0, 100] —
+/// higher means the model predicts the task's domain better. The 16 tasks
+/// mirror the paper's 16 HELM core scenarios in name and domain flavor
+/// (QA, summarization, sentiment, toxicity, ...), each built from a
+/// different synthetic domain/seed so models show per-task variation.
+struct BenchmarkTask {
+  std::string name;
+  std::vector<std::string> eval_texts;
+};
+
+struct TaskResult {
+  std::string task;
+  double score = 0;  ///< 0..100
+};
+
+/// A fixed suite of evaluation tasks.
+class BenchmarkSuite {
+ public:
+  /// The 16-task core suite (names after HELM core scenarios).
+  static BenchmarkSuite CoreSuite(uint64_t seed = 1616);
+
+  explicit BenchmarkSuite(std::vector<BenchmarkTask> tasks)
+      : tasks_(std::move(tasks)) {}
+
+  const std::vector<BenchmarkTask>& tasks() const { return tasks_; }
+
+  /// Evaluates a model on every task.
+  std::vector<TaskResult> Evaluate(const text::NgramLm& model) const;
+
+  /// Average score across tasks (the paper's headline number per model).
+  static double AverageScore(const std::vector<TaskResult>& results);
+
+  /// Maps a perplexity to the [0,100] proxy score.
+  static double PerplexityToScore(double ppl);
+
+ private:
+  std::vector<BenchmarkTask> tasks_;
+};
+
+}  // namespace dj::eval
+
+#endif  // DJ_EVAL_BENCHMARKS_H_

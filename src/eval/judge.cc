@@ -1,0 +1,105 @@
+#include "eval/judge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "text/lexicons.h"
+#include "text/ngram.h"
+#include "text/tokenizer.h"
+
+namespace dj::eval {
+
+PairwiseJudge::PairwiseJudge() : PairwiseJudge(Options()) {}
+
+PairwiseJudge::PairwiseJudge(Options options) : options_(options) {
+  if (options_.classifier == nullptr) {
+    options_.classifier = &quality::QualityClassifier::DefaultGpt3();
+  }
+}
+
+double PairwiseJudge::ScoreResponse(std::string_view instruction,
+                                    std::string_view response) const {
+  std::vector<std::string> words = text::TokenizeWordsLower(response);
+  if (words.empty()) return 0.0;
+
+  // Quality-classifier component.
+  double quality = options_.classifier->Score(response);
+
+  // Helpfulness-length component: saturating in ~60 words.
+  double length = 1.0 - std::exp(-static_cast<double>(words.size()) / 30.0);
+
+  // Lexical diversity: type/token ratio.
+  std::unordered_set<std::string> types(words.begin(), words.end());
+  double diversity =
+      static_cast<double>(types.size()) / static_cast<double>(words.size());
+
+  // Degeneration penalty: repeated 3-grams.
+  double repetition = text::DuplicateNgramRatio(
+      text::HashedWordNgrams(words, 3));
+
+  // Spam penalty.
+  const text::Lexicon& flagged = text::Lexicon::FlaggedWords();
+  size_t spam = 0;
+  for (const std::string& w : words) {
+    if (flagged.Contains(w)) ++spam;
+  }
+  double spam_ratio =
+      static_cast<double>(spam) / static_cast<double>(words.size());
+
+  // Instruction-relevance: overlap between instruction content words and
+  // the response.
+  double relevance = 0.5;
+  std::vector<std::string> inst_words = text::TokenizeWordsLower(instruction);
+  if (!inst_words.empty()) {
+    const text::Lexicon& stop = text::Lexicon::EnglishStopwords();
+    size_t content = 0, overlap = 0;
+    std::unordered_set<std::string> response_set(words.begin(), words.end());
+    for (const std::string& w : inst_words) {
+      if (stop.Contains(w) || w.size() < 3) continue;
+      ++content;
+      if (response_set.count(w) > 0) ++overlap;
+    }
+    if (content > 0) {
+      relevance = static_cast<double>(overlap) / static_cast<double>(content);
+    }
+  }
+
+  double score = 0.40 * quality + 0.20 * length + 0.15 * diversity +
+                 0.15 * relevance - 0.35 * repetition - 0.80 * spam_ratio;
+  return std::clamp(score, 0.0, 1.0);
+}
+
+Verdict PairwiseJudge::Compare(std::string_view instruction,
+                               std::string_view response_a,
+                               std::string_view response_b) const {
+  double a = ScoreResponse(instruction, response_a);
+  double b = ScoreResponse(instruction, response_b);
+  if (std::abs(a - b) <= options_.tie_margin) return Verdict::kTie;
+  return a > b ? Verdict::kWinA : Verdict::kWinB;
+}
+
+PairwiseResult PairwiseJudge::Evaluate(
+    const std::vector<std::string>& instructions,
+    const std::vector<std::string>& responses_a,
+    const std::vector<std::string>& responses_b) const {
+  PairwiseResult result;
+  size_t n = std::min({instructions.size(), responses_a.size(),
+                       responses_b.size()});
+  for (size_t i = 0; i < n; ++i) {
+    switch (Compare(instructions[i], responses_a[i], responses_b[i])) {
+      case Verdict::kWinA:
+        ++result.wins_a;
+        break;
+      case Verdict::kWinB:
+        ++result.wins_b;
+        break;
+      case Verdict::kTie:
+        ++result.ties;
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace dj::eval

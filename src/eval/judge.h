@@ -1,0 +1,60 @@
+#ifndef DJ_EVAL_JUDGE_H_
+#define DJ_EVAL_JUDGE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "quality/quality_classifier.h"
+
+namespace dj::eval {
+
+/// Outcome of one pairwise comparison.
+enum class Verdict { kWinA, kWinB, kTie };
+
+/// Aggregate of a pairwise evaluation run (paper Table 3 reports wins and
+/// ties of model A vs model B).
+struct PairwiseResult {
+  size_t wins_a = 0;
+  size_t wins_b = 0;
+  size_t ties = 0;
+
+  double win_rate_a() const {
+    size_t total = wins_a + wins_b + ties;
+    return total == 0 ? 0 : static_cast<double>(wins_a) / total;
+  }
+};
+
+/// Deterministic pairwise response judge — the stand-in for GPT-4 API
+/// scoring. A response is scored on: classifier quality, helpfulness length
+/// (with diminishing returns), lexical diversity, and spam/degeneration
+/// penalties; two responses within `tie_margin` are a tie.
+class PairwiseJudge {
+ public:
+  struct Options {
+    double tie_margin = 0.035;
+    const quality::QualityClassifier* classifier = nullptr;  ///< default GPT3
+  };
+
+  PairwiseJudge();
+  explicit PairwiseJudge(Options options);
+
+  /// Absolute response score in [0, 1].
+  double ScoreResponse(std::string_view instruction,
+                       std::string_view response) const;
+
+  Verdict Compare(std::string_view instruction, std::string_view response_a,
+                  std::string_view response_b) const;
+
+  /// Judges parallel response lists (same instructions).
+  PairwiseResult Evaluate(const std::vector<std::string>& instructions,
+                          const std::vector<std::string>& responses_a,
+                          const std::vector<std::string>& responses_b) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace dj::eval
+
+#endif  // DJ_EVAL_JUDGE_H_

@@ -1,0 +1,91 @@
+#include "eval/leaderboard.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace dj::eval {
+
+void Leaderboard::Register(ReferenceModelEntry entry) {
+  entry.average_score = BenchmarkSuite::AverageScore(entry.task_results);
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<std::pair<ReferenceModelEntry, double>> Leaderboard::Rank(
+    RankingStrategy strategy) const {
+  std::vector<std::pair<ReferenceModelEntry, double>> out;
+  if (entries_.empty()) return out;
+
+  // Collect per-task scores aligned across models.
+  std::map<std::string, std::vector<double>> task_scores;
+  for (const auto& entry : entries_) {
+    for (const TaskResult& r : entry.task_results) {
+      task_scores[r.task].push_back(r.score);
+    }
+  }
+
+  for (const auto& entry : entries_) {
+    double aggregate = 0;
+    switch (strategy) {
+      case RankingStrategy::kScoreAverage:
+        aggregate = entry.average_score;
+        break;
+      case RankingStrategy::kRankAverage: {
+        // Average of "how many models this one beats" per task.
+        double total = 0;
+        size_t n = 0;
+        for (const TaskResult& r : entry.task_results) {
+          const auto& all = task_scores[r.task];
+          size_t beaten = 0;
+          for (double s : all) {
+            if (r.score > s) ++beaten;
+          }
+          total += all.size() > 1 ? static_cast<double>(beaten) /
+                                        static_cast<double>(all.size() - 1)
+                                  : 1.0;
+          ++n;
+        }
+        aggregate = n > 0 ? total / static_cast<double>(n) * 100.0 : 0;
+        break;
+      }
+      case RankingStrategy::kNormalizedAverage: {
+        double total = 0;
+        size_t n = 0;
+        for (const TaskResult& r : entry.task_results) {
+          const auto& all = task_scores[r.task];
+          double lo = *std::min_element(all.begin(), all.end());
+          double hi = *std::max_element(all.begin(), all.end());
+          total += hi > lo ? (r.score - lo) / (hi - lo) : 1.0;
+          ++n;
+        }
+        aggregate = n > 0 ? total / static_cast<double>(n) * 100.0 : 0;
+        break;
+      }
+    }
+    out.emplace_back(entry, aggregate);
+  }
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  return out;
+}
+
+std::string Leaderboard::ToString(RankingStrategy strategy) const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-4s %-28s %-34s %12s %9s\n", "rank",
+                "model", "training data", "tokens", "score");
+  out += buf;
+  auto ranked = Rank(strategy);
+  int rank = 1;
+  for (const auto& [entry, aggregate] : ranked) {
+    std::snprintf(buf, sizeof(buf), "%-4d %-28s %-34s %12llu %9.2f\n", rank++,
+                  entry.name.c_str(), entry.training_data.c_str(),
+                  static_cast<unsigned long long>(entry.tokens_trained),
+                  aggregate);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace dj::eval

@@ -1,0 +1,52 @@
+#ifndef DJ_EVAL_LEADERBOARD_H_
+#define DJ_EVAL_LEADERBOARD_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/benchmarks.h"
+
+namespace dj::eval {
+
+/// A registered reference model (paper Sec. 5.3): an evaluated checkpoint
+/// bound to its traceable training data and configuration, enabling
+/// comparison across data recipes.
+struct ReferenceModelEntry {
+  std::string name;
+  std::string training_data;   ///< recipe / dataset description
+  uint64_t tokens_trained = 0;
+  std::vector<TaskResult> task_results;
+  double average_score = 0;
+};
+
+/// Ranking strategies for the leaderboard (paper: "ranking averaging,
+/// score normalised averaging or other customised strategies").
+enum class RankingStrategy {
+  kScoreAverage,       ///< mean raw score across tasks
+  kRankAverage,        ///< mean per-task rank (lower is better -> inverted)
+  kNormalizedAverage,  ///< per-task min-max normalized scores averaged
+};
+
+/// Leaderboard-style comparison of reference models.
+class Leaderboard {
+ public:
+  /// Registers a model; average_score is computed from task_results.
+  void Register(ReferenceModelEntry entry);
+
+  const std::vector<ReferenceModelEntry>& entries() const { return entries_; }
+
+  /// Entries sorted best-first under the given strategy, paired with their
+  /// aggregate value.
+  std::vector<std::pair<ReferenceModelEntry, double>> Rank(
+      RankingStrategy strategy) const;
+
+  /// Rendered table (name, data, tokens, aggregate).
+  std::string ToString(RankingStrategy strategy) const;
+
+ private:
+  std::vector<ReferenceModelEntry> entries_;
+};
+
+}  // namespace dj::eval
+
+#endif  // DJ_EVAL_LEADERBOARD_H_

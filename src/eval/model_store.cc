@@ -1,0 +1,97 @@
+#include "eval/model_store.h"
+
+#include "data/io.h"
+#include "json/parser.h"
+#include "json/writer.h"
+
+namespace dj::eval {
+
+Status SaveReferenceModel(const StoredReferenceModel& model,
+                          const std::string& path_prefix) {
+  DJ_RETURN_IF_ERROR(data::WriteFile(path_prefix + ".djlm",
+                                     model.trained.model.Serialize()));
+  json::Object manifest;
+  manifest.Set("name", json::Value(model.name));
+  manifest.Set("training_data", json::Value(model.training_data));
+  manifest.Set("tokens_consumed",
+               json::Value(static_cast<int64_t>(model.trained.tokens_consumed)));
+  manifest.Set("documents_seen",
+               json::Value(static_cast<int64_t>(model.trained.documents_seen)));
+  manifest.Set("epochs", json::Value(static_cast<int64_t>(model.trained.epochs)));
+  return data::WriteFile(path_prefix + ".json",
+                         json::Write(json::Value(std::move(manifest)),
+                                     {.pretty = true}));
+}
+
+Result<StoredReferenceModel> LoadReferenceModel(
+    const std::string& path_prefix) {
+  DJ_ASSIGN_OR_RETURN(std::string blob, data::ReadFile(path_prefix + ".djlm"));
+  DJ_ASSIGN_OR_RETURN(std::string manifest_text,
+                      data::ReadFile(path_prefix + ".json"));
+  DJ_ASSIGN_OR_RETURN(json::Value manifest, json::ParseStrict(manifest_text));
+  DJ_ASSIGN_OR_RETURN(text::NgramLm lm, text::NgramLm::Deserialize(blob));
+  StoredReferenceModel out{.name = manifest.GetString("name", ""),
+                           .training_data =
+                               manifest.GetString("training_data", ""),
+                           .trained = TrainedModel{std::move(lm), 0, 0, 0}};
+  out.trained.tokens_consumed =
+      static_cast<uint64_t>(manifest.GetInt("tokens_consumed", 0));
+  out.trained.documents_seen =
+      static_cast<size_t>(manifest.GetInt("documents_seen", 0));
+  out.trained.epochs = static_cast<int>(manifest.GetInt("epochs", 0));
+  return out;
+}
+
+Status SaveLeaderboard(const Leaderboard& board, const std::string& path) {
+  json::Array entries;
+  for (const ReferenceModelEntry& entry : board.entries()) {
+    json::Object o;
+    o.Set("name", json::Value(entry.name));
+    o.Set("training_data", json::Value(entry.training_data));
+    o.Set("tokens_trained",
+          json::Value(static_cast<int64_t>(entry.tokens_trained)));
+    json::Array tasks;
+    for (const TaskResult& r : entry.task_results) {
+      json::Object task;
+      task.Set("task", json::Value(r.task));
+      task.Set("score", json::Value(r.score));
+      tasks.emplace_back(std::move(task));
+    }
+    o.Set("task_results", json::Value(std::move(tasks)));
+    entries.emplace_back(std::move(o));
+  }
+  json::Object root;
+  root.Set("entries", json::Value(std::move(entries)));
+  return data::WriteFile(
+      path, json::Write(json::Value(std::move(root)), {.pretty = true}));
+}
+
+Result<Leaderboard> LoadLeaderboard(const std::string& path) {
+  DJ_ASSIGN_OR_RETURN(std::string text, data::ReadFile(path));
+  DJ_ASSIGN_OR_RETURN(json::Value root, json::ParseStrict(text));
+  const json::Value* entries =
+      root.is_object() ? root.as_object().Find("entries") : nullptr;
+  if (entries == nullptr || !entries->is_array()) {
+    return Status::Corruption("leaderboard file missing 'entries' array");
+  }
+  Leaderboard board;
+  for (const json::Value& e : entries->as_array()) {
+    if (!e.is_object()) return Status::Corruption("bad leaderboard entry");
+    ReferenceModelEntry entry;
+    entry.name = e.GetString("name", "");
+    entry.training_data = e.GetString("training_data", "");
+    entry.tokens_trained =
+        static_cast<uint64_t>(e.GetInt("tokens_trained", 0));
+    const json::Value* tasks = e.as_object().Find("task_results");
+    if (tasks != nullptr && tasks->is_array()) {
+      for (const json::Value& t : tasks->as_array()) {
+        entry.task_results.push_back(
+            {t.GetString("task", ""), t.GetDouble("score", 0)});
+      }
+    }
+    board.Register(std::move(entry));
+  }
+  return board;
+}
+
+}  // namespace dj::eval

@@ -1,0 +1,36 @@
+#ifndef DJ_EVAL_MODEL_STORE_H_
+#define DJ_EVAL_MODEL_STORE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "eval/leaderboard.h"
+#include "eval/trainer.h"
+
+namespace dj::eval {
+
+/// A persisted reference model: checkpoint plus the traceable metadata the
+/// paper binds to it (Sec. 5.3: "model checkpoints binding with traceable
+/// training data ... training parameters ... and corresponding evaluation
+/// results").
+struct StoredReferenceModel {
+  std::string name;
+  std::string training_data;  ///< recipe/dataset description
+  TrainedModel trained;
+};
+
+/// Writes `<path>.djlm` (model checkpoint) and `<path>.json` (metadata).
+Status SaveReferenceModel(const StoredReferenceModel& model,
+                          const std::string& path_prefix);
+
+/// Loads a reference model saved by SaveReferenceModel.
+Result<StoredReferenceModel> LoadReferenceModel(
+    const std::string& path_prefix);
+
+/// Persists a leaderboard (entries + per-task results) as JSON.
+Status SaveLeaderboard(const Leaderboard& board, const std::string& path);
+Result<Leaderboard> LoadLeaderboard(const std::string& path);
+
+}  // namespace dj::eval
+
+#endif  // DJ_EVAL_MODEL_STORE_H_

@@ -1,0 +1,64 @@
+#include "eval/scaling.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dj::eval {
+
+Result<ScalingLaw> ScalingLaw::Fit(const std::vector<ScalingPoint>& points) {
+  if (points.size() < 2) {
+    return Status::InvalidArgument("scaling fit needs >= 2 points");
+  }
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  double n = static_cast<double>(points.size());
+  for (const ScalingPoint& p : points) {
+    if (p.tokens == 0) {
+      return Status::InvalidArgument("scaling fit: tokens must be > 0");
+    }
+    double x = std::log10(static_cast<double>(p.tokens));
+    sx += x;
+    sy += p.score;
+    sxx += x * x;
+    sxy += x * p.score;
+  }
+  double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) {
+    return Status::InvalidArgument(
+        "scaling fit: token counts must not all be equal");
+  }
+  double b = (n * sxy - sx * sy) / denom;
+  double a = (sy - b * sx) / n;
+  // R².
+  double mean_y = sy / n;
+  double ss_tot = 0, ss_res = 0;
+  for (const ScalingPoint& p : points) {
+    double x = std::log10(static_cast<double>(p.tokens));
+    double pred = a + b * x;
+    ss_tot += (p.score - mean_y) * (p.score - mean_y);
+    ss_res += (p.score - pred) * (p.score - pred);
+  }
+  double r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return ScalingLaw(a, b, r2);
+}
+
+double ScalingLaw::Predict(uint64_t tokens) const {
+  if (tokens == 0) return a_;
+  return a_ + b_ * std::log10(static_cast<double>(tokens));
+}
+
+uint64_t ScalingLaw::TokensForScore(double target_score) const {
+  if (b_ <= 0) return 0;
+  double log_tokens = (target_score - a_) / b_;
+  if (log_tokens > 18) return 0;  // beyond any plausible volume
+  return static_cast<uint64_t>(std::pow(10.0, std::max(log_tokens, 0.0)));
+}
+
+std::string ScalingLaw::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "score = %.3f + %.3f * log10(tokens)  (R^2 = %.3f)", a_, b_,
+                r2_);
+  return buf;
+}
+
+}  // namespace dj::eval

@@ -1,0 +1,52 @@
+#ifndef DJ_EVAL_SCALING_H_
+#define DJ_EVAL_SCALING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dj::eval {
+
+/// One (training volume, evaluation score) observation.
+struct ScalingPoint {
+  uint64_t tokens = 0;
+  double score = 0;
+};
+
+/// Log-linear scaling fit: score ≈ a + b·log10(tokens). This is the
+/// "dynamic expansion of evaluation metrics ... allowing subsequent scaling
+/// predictions" of paper Sec. 5.3 — predict post-training capability at
+/// larger data volumes from the trend of scores during training.
+class ScalingLaw {
+ public:
+  /// Least-squares fit; needs >= 2 points with distinct token counts.
+  static Result<ScalingLaw> Fit(const std::vector<ScalingPoint>& points);
+
+  double intercept() const { return a_; }
+  double slope() const { return b_; }
+
+  /// Predicted score at `tokens`.
+  double Predict(uint64_t tokens) const;
+
+  /// Tokens needed to reach `target_score` under the fit; returns 0 when the
+  /// slope is non-positive (target unreachable by adding data).
+  uint64_t TokensForScore(double target_score) const;
+
+  /// R² of the fit on its training points.
+  double r_squared() const { return r2_; }
+
+  std::string ToString() const;
+
+ private:
+  ScalingLaw(double a, double b, double r2) : a_(a), b_(b), r2_(r2) {}
+
+  double a_ = 0;
+  double b_ = 0;
+  double r2_ = 0;
+};
+
+}  // namespace dj::eval
+
+#endif  // DJ_EVAL_SCALING_H_

@@ -1,0 +1,35 @@
+#include "eval/trainer.h"
+
+#include "text/tokenizer.h"
+
+namespace dj::eval {
+
+TrainedModel PretrainReferenceModel(const data::Dataset& dataset,
+                                    const TrainOptions& options) {
+  text::NgramLm::Options lm_options;
+  lm_options.order = options.order;
+  TrainedModel out{text::NgramLm(lm_options), 0, 0, 0};
+  if (dataset.NumRows() == 0) {
+    out.model.Finalize();
+    return out;
+  }
+  while (out.tokens_consumed < options.token_budget &&
+         out.epochs < options.max_epochs) {
+    ++out.epochs;
+    for (size_t i = 0;
+         i < dataset.NumRows() && out.tokens_consumed < options.token_budget;
+         ++i) {
+      std::string_view text = dataset.GetTextAt(i, options.text_key);
+      if (text.empty()) continue;
+      std::vector<std::string> words = text::TokenizeWordsLower(text);
+      if (words.empty()) continue;
+      out.model.AddTokens(words);
+      out.tokens_consumed += words.size();
+      ++out.documents_seen;
+    }
+  }
+  out.model.Finalize();
+  return out;
+}
+
+}  // namespace dj::eval

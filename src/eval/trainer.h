@@ -1,0 +1,44 @@
+#ifndef DJ_EVAL_TRAINER_H_
+#define DJ_EVAL_TRAINER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "text/ngram_lm.h"
+
+namespace dj::eval {
+
+/// "Pre-training" options for a reference model. The reference model is an
+/// n-gram LM (see DESIGN.md substitutions): it plays the role of the
+/// LLaMA-1.3B checkpoints in Fig. 7 / Table 2 — trained on a token budget
+/// drawn from a dataset, then evaluated on held-out proxy benchmarks.
+struct TrainOptions {
+  uint64_t token_budget = 1'000'000;  ///< stop after this many tokens
+  int order = 3;
+  uint64_t seed = 2024;
+  /// When the dataset is smaller than the budget, iterate extra epochs
+  /// (mirrors the paper's multi-epoch weighting of high-quality corpora).
+  int max_epochs = 4;
+  /// Which field carries the training text ("text.full" for instruction
+  /// triplets).
+  std::string text_key = "text";
+};
+
+/// Result of a pre-training run.
+struct TrainedModel {
+  text::NgramLm model;
+  uint64_t tokens_consumed = 0;
+  size_t documents_seen = 0;
+  int epochs = 0;
+};
+
+/// Trains an n-gram reference model on `dataset` (the "text" field),
+/// consuming documents in order until the token budget is exhausted.
+TrainedModel PretrainReferenceModel(const data::Dataset& dataset,
+                                    const TrainOptions& options);
+
+}  // namespace dj::eval
+
+#endif  // DJ_EVAL_TRAINER_H_

@@ -1,0 +1,50 @@
+#include "hpo/hyperband.h"
+
+#include <algorithm>
+
+namespace dj::hpo {
+
+Trial SuccessiveHalving::Run(
+    const SearchSpace& space,
+    const std::function<double(const ParamSet&, double)>& objective,
+    Rng* rng) {
+  history_.clear();
+  total_budget_ = 0;
+
+  std::vector<ParamSet> population;
+  population.reserve(options_.initial_configs);
+  for (size_t i = 0; i < options_.initial_configs; ++i) {
+    population.push_back(space.SampleUniform(rng));
+  }
+
+  double budget = options_.min_budget;
+  std::vector<Trial> rung;
+  while (!population.empty()) {
+    rung.clear();
+    for (ParamSet& params : population) {
+      Trial t;
+      t.objective = objective(params, budget);
+      t.budget = budget;
+      t.params = std::move(params);
+      total_budget_ += budget;
+      history_.push_back(t);
+      rung.push_back(std::move(t));
+    }
+    std::sort(rung.begin(), rung.end(), [](const Trial& a, const Trial& b) {
+      return a.objective > b.objective;
+    });
+    if (budget >= options_.max_budget || rung.size() <= 1) break;
+    size_t survivors = std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(rung.size()) /
+                               options_.eta));
+    population.clear();
+    for (size_t i = 0; i < survivors; ++i) {
+      population.push_back(rung[i].params);
+    }
+    budget = std::min(budget * options_.eta, options_.max_budget);
+  }
+  // Best of the final rung (highest fidelity evaluated).
+  return rung.empty() ? Trial{} : rung.front();
+}
+
+}  // namespace dj::hpo

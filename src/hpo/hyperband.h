@@ -1,0 +1,50 @@
+#ifndef DJ_HPO_HYPERBAND_H_
+#define DJ_HPO_HYPERBAND_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "hpo/optimizer.h"
+#include "hpo/search_space.h"
+
+namespace dj::hpo {
+
+/// Successive-halving / Hyperband-style early stopping (paper Sec. 5.1.2:
+/// "progressive early-stop strategies, such as the Hyperband algorithm"):
+/// many configurations are evaluated at a small budget (e.g. a data
+/// subsample); only the top 1/eta survive to the next rung with eta times
+/// the budget.
+class SuccessiveHalving {
+ public:
+  struct Options {
+    size_t initial_configs = 27;
+    double eta = 3.0;            ///< keep top 1/eta per rung
+    double min_budget = 1.0 / 27;///< starting fidelity fraction
+    double max_budget = 1.0;     ///< full fidelity
+  };
+
+  SuccessiveHalving() : SuccessiveHalving(Options()) {}
+  explicit SuccessiveHalving(Options options) : options_(options) {}
+
+  /// `objective(params, budget)` evaluates a configuration at a fidelity
+  /// fraction in (0,1]; higher return is better. Returns the best trial
+  /// (evaluated at max budget) and exposes the full trial history.
+  Trial Run(const SearchSpace& space,
+            const std::function<double(const ParamSet&, double)>& objective,
+            Rng* rng);
+
+  const std::vector<Trial>& history() const { return history_; }
+  /// Total budget consumed (sum of per-trial fidelity fractions); compare
+  /// against initial_configs * rungs for the early-stop savings.
+  double total_budget_spent() const { return total_budget_; }
+
+ private:
+  Options options_;
+  std::vector<Trial> history_;
+  double total_budget_ = 0;
+};
+
+}  // namespace dj::hpo
+
+#endif  // DJ_HPO_HYPERBAND_H_

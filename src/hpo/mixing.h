@@ -1,0 +1,60 @@
+#ifndef DJ_HPO_MIXING_H_
+#define DJ_HPO_MIXING_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "hpo/search_space.h"
+#include "quality/quality_classifier.h"
+
+namespace dj::hpo {
+
+/// The data-mixing HPO problem of paper Sec. 5.1 ("Example of Data Mixing
+/// with HPO"): find sampling weights w_i in [0,1] for M source datasets so
+/// that the mixed dataset maximizes  n/N + s, where n is the mixture's
+/// token count, N the total token count of all sources, and s the average
+/// GPT-3-classifier quality score of the mixture.
+class MixingProblem {
+ public:
+  struct Options {
+    /// Optional language-tag pre-filter (step 2 of the paper's pipeline);
+    /// empty disables it. Matches meta.lang.
+    std::string lang_filter = "EN";
+    /// Deduplicate the mixture before scoring (step 4).
+    bool dedup = true;
+    /// Samples scored per evaluation (quality scoring is the costly part).
+    size_t score_sample = 200;
+    uint64_t seed = 99;
+  };
+
+  MixingProblem(std::vector<data::Dataset> sources,
+                const quality::QualityClassifier* classifier,
+                Options options);
+
+  size_t num_sources() const { return sources_.size(); }
+
+  /// The [0,1]^M search space named w0..w{M-1}.
+  SearchSpace Space() const;
+
+  /// Builds the mixture for `weights` and returns the objective n/N + s.
+  /// `budget` in (0,1] subsamples each source first (for Hyperband).
+  double Evaluate(const ParamSet& weights, double budget = 1.0) const;
+
+  /// Materializes the mixture for the given weights (full budget).
+  data::Dataset Mix(const ParamSet& weights) const;
+
+ private:
+  data::Dataset BuildMixture(const ParamSet& weights, double budget,
+                             Rng* rng) const;
+
+  std::vector<data::Dataset> sources_;
+  const quality::QualityClassifier* classifier_;  // not owned
+  Options options_;
+  uint64_t total_tokens_ = 0;
+};
+
+}  // namespace dj::hpo
+
+#endif  // DJ_HPO_MIXING_H_

@@ -1,0 +1,96 @@
+#include "hpo/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dj::hpo {
+
+const Trial* Optimizer::Best() const {
+  const Trial* best = nullptr;
+  for (const Trial& t : trials_) {
+    if (best == nullptr || t.objective > best->objective) best = &t;
+  }
+  return best;
+}
+
+TpeOptimizer::TpeOptimizer(SearchSpace space)
+    : TpeOptimizer(std::move(space), Options()) {}
+
+TpeOptimizer::TpeOptimizer(SearchSpace space, Options options)
+    : Optimizer(std::move(space)), options_(options) {}
+
+double TpeOptimizer::LogDensity(const std::vector<const Trial*>& pool,
+                                size_t dim, double x) const {
+  const ParamSpec& spec = space_.specs()[dim];
+  double range = std::max(spec.hi - spec.lo, 1e-9);
+  double bw = range * options_.bandwidth_scale;
+  if (pool.empty()) return -std::log(range);  // uniform
+  // Mixture of Gaussians around observed points (+ a uniform floor).
+  double density = 0.1 / range;
+  for (const Trial* t : pool) {
+    double mu = t->params.values[dim].second;
+    double z = (x - mu) / bw;
+    density += std::exp(-0.5 * z * z) /
+               (bw * 2.5066282746310002 * static_cast<double>(pool.size()));
+  }
+  return std::log(density);
+}
+
+ParamSet TpeOptimizer::Suggest(Rng* rng) {
+  if (trials_.size() < options_.min_startup_trials) {
+    return space_.SampleUniform(rng);
+  }
+  // Partition into good/bad by objective quantile.
+  std::vector<const Trial*> sorted;
+  sorted.reserve(trials_.size());
+  for (const Trial& t : trials_) sorted.push_back(&t);
+  std::sort(sorted.begin(), sorted.end(), [](const Trial* a, const Trial* b) {
+    return a->objective > b->objective;
+  });
+  size_t n_good = std::max<size_t>(
+      2, static_cast<size_t>(options_.gamma *
+                             static_cast<double>(sorted.size())));
+  n_good = std::min(n_good, sorted.size());
+  std::vector<const Trial*> good(sorted.begin(), sorted.begin() + n_good);
+  std::vector<const Trial*> bad(sorted.begin() + n_good, sorted.end());
+
+  ParamSet best_candidate;
+  double best_score = -1e300;
+  for (size_t c = 0; c < options_.num_candidates; ++c) {
+    // Sample each dimension from a kernel around a random good point.
+    ParamSet candidate;
+    candidate.values.reserve(space_.size());
+    const Trial* anchor = good[rng->NextBelow(good.size())];
+    double score = 0;
+    for (size_t d = 0; d < space_.size(); ++d) {
+      const ParamSpec& spec = space_.specs()[d];
+      double range = std::max(spec.hi - spec.lo, 1e-9);
+      double bw = range * options_.bandwidth_scale;
+      double x = space_.Clamp(
+          d, anchor->params.values[d].second + rng->Gaussian() * bw);
+      candidate.values.emplace_back(spec.name, x);
+      score += LogDensity(good, d, x) - LogDensity(bad, d, x);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_candidate = std::move(candidate);
+    }
+  }
+  return best_candidate;
+}
+
+Trial RunOptimization(Optimizer* optimizer,
+                      const std::function<double(const ParamSet&)>& objective,
+                      size_t n_trials, Rng* rng) {
+  for (size_t i = 0; i < n_trials; ++i) {
+    ParamSet params = optimizer->Suggest(rng);
+    Trial trial;
+    trial.objective = objective(params);
+    trial.params = std::move(params);
+    optimizer->Observe(std::move(trial));
+  }
+  const Trial* best = optimizer->Best();
+  return best != nullptr ? *best : Trial{};
+}
+
+}  // namespace dj::hpo

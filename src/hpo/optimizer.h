@@ -1,0 +1,86 @@
+#ifndef DJ_HPO_OPTIMIZER_H_
+#define DJ_HPO_OPTIMIZER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "hpo/search_space.h"
+
+namespace dj::hpo {
+
+/// One completed evaluation.
+struct Trial {
+  ParamSet params;
+  double objective = 0;  ///< higher is better
+  double budget = 1.0;   ///< fraction of full fidelity (for early stopping)
+};
+
+/// Sequential model-based optimizer interface (the role W&B Sweeps plays in
+/// the paper's Auto-HPO, Sec. 5.1.2).
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  explicit Optimizer(SearchSpace space) : space_(std::move(space)) {}
+
+  /// Proposes the next configuration to evaluate.
+  virtual ParamSet Suggest(Rng* rng) = 0;
+
+  /// Feeds back a completed trial.
+  virtual void Observe(Trial trial) { trials_.push_back(std::move(trial)); }
+
+  const std::vector<Trial>& trials() const { return trials_; }
+
+  /// Best trial so far (highest objective); nullptr when none.
+  const Trial* Best() const;
+
+  const SearchSpace& space() const { return space_; }
+
+ protected:
+  SearchSpace space_;
+  std::vector<Trial> trials_;
+};
+
+/// Pure random search (the baseline strategy).
+class RandomSearch : public Optimizer {
+ public:
+  explicit RandomSearch(SearchSpace space) : Optimizer(std::move(space)) {}
+  ParamSet Suggest(Rng* rng) override { return space_.SampleUniform(rng); }
+};
+
+/// Tree-structured Parzen Estimator (lite): observed trials are split into
+/// a "good" quantile and the rest; candidates are sampled from Gaussian
+/// kernels around good points and ranked by the density ratio good/bad.
+/// Stands in for the Bayesian optimization backends of W&B Sweeps.
+class TpeOptimizer : public Optimizer {
+ public:
+  struct Options {
+    double gamma = 0.25;          ///< fraction of trials considered "good"
+    size_t num_candidates = 24;   ///< EI candidates per suggestion
+    size_t min_startup_trials = 8;///< random until this many observations
+    double bandwidth_scale = 0.2; ///< kernel width as a fraction of range
+  };
+
+  explicit TpeOptimizer(SearchSpace space);
+  TpeOptimizer(SearchSpace space, Options options);
+
+  ParamSet Suggest(Rng* rng) override;
+
+ private:
+  double LogDensity(const std::vector<const Trial*>& pool, size_t dim,
+                    double x) const;
+
+  Options options_;
+};
+
+/// Convenience driver: runs `n_trials` suggest/evaluate/observe rounds.
+/// Returns the best trial.
+Trial RunOptimization(Optimizer* optimizer,
+                      const std::function<double(const ParamSet&)>& objective,
+                      size_t n_trials, Rng* rng);
+
+}  // namespace dj::hpo
+
+#endif  // DJ_HPO_OPTIMIZER_H_

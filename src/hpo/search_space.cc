@@ -1,0 +1,32 @@
+#include "hpo/search_space.h"
+
+#include <algorithm>
+
+namespace dj::hpo {
+
+ParamSet SearchSpace::SampleUniform(Rng* rng) const {
+  ParamSet out;
+  out.values.reserve(specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const ParamSpec& spec = specs_[i];
+    double v;
+    if (spec.log_scale) {
+      double lo = std::log(std::max(spec.lo, 1e-12));
+      double hi = std::log(std::max(spec.hi, 1e-12));
+      v = std::exp(rng->Uniform(lo, hi));
+    } else {
+      v = rng->Uniform(spec.lo, spec.hi);
+    }
+    out.values.emplace_back(spec.name, Clamp(i, v));
+  }
+  return out;
+}
+
+double SearchSpace::Clamp(size_t i, double v) const {
+  const ParamSpec& spec = specs_[i];
+  v = std::clamp(v, spec.lo, spec.hi);
+  if (spec.is_int) v = std::round(v);
+  return v;
+}
+
+}  // namespace dj::hpo

@@ -1,0 +1,58 @@
+#ifndef DJ_HPO_SEARCH_SPACE_H_
+#define DJ_HPO_SEARCH_SPACE_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dj::hpo {
+
+/// One tunable hyper-parameter: a bounded continuous (or integer) range,
+/// optionally sampled on a log scale.
+struct ParamSpec {
+  std::string name;
+  double lo = 0;
+  double hi = 1;
+  bool log_scale = false;
+  bool is_int = false;
+};
+
+/// A concrete assignment, ordered like the space's specs.
+struct ParamSet {
+  std::vector<std::pair<std::string, double>> values;
+
+  double Get(std::string_view name, double def = 0) const {
+    for (const auto& [n, v] : values) {
+      if (n == name) return v;
+    }
+    return def;
+  }
+};
+
+/// The search space of a data-processing HPO run (paper Sec. 5.1: e.g. the
+/// mixture weights w_i in [0,1], filter thresholds, rep_len, ...).
+class SearchSpace {
+ public:
+  SearchSpace& Add(ParamSpec spec) {
+    specs_.push_back(std::move(spec));
+    return *this;
+  }
+
+  const std::vector<ParamSpec>& specs() const { return specs_; }
+  size_t size() const { return specs_.size(); }
+
+  /// Uniform sample (log-uniform for log-scale params).
+  ParamSet SampleUniform(Rng* rng) const;
+
+  /// Clamps and rounds a value for spec `i`.
+  double Clamp(size_t i, double v) const;
+
+ private:
+  std::vector<ParamSpec> specs_;
+};
+
+}  // namespace dj::hpo
+
+#endif  // DJ_HPO_SEARCH_SPACE_H_

@@ -1,0 +1,86 @@
+#include "json/value.h"
+
+namespace dj::json {
+
+Object::Object() = default;
+Object::Object(const Object&) = default;
+Object::Object(Object&&) noexcept = default;
+Object& Object::operator=(const Object&) = default;
+Object& Object::operator=(Object&&) noexcept = default;
+Object::~Object() = default;
+
+const Value* Object::Find(std::string_view key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Value* Object::Find(std::string_view key) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Object::Set(std::string key, Value value) {
+  if (Value* existing = Find(key)) {
+    *existing = std::move(value);
+    return;
+  }
+  entries_.emplace_back(std::move(key), std::move(value));
+}
+
+bool Object::Erase(std::string_view key) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first == key) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool operator==(const Object& a, const Object& b) {
+  return a.entries_ == b.entries_;
+}
+
+bool Value::GetBool(std::string_view key, bool def) const {
+  if (!is_object()) return def;
+  const Value* v = as_object().Find(key);
+  return (v != nullptr && v->is_bool()) ? v->as_bool() : def;
+}
+
+int64_t Value::GetInt(std::string_view key, int64_t def) const {
+  if (!is_object()) return def;
+  const Value* v = as_object().Find(key);
+  if (v == nullptr) return def;
+  if (v->is_int()) return v->as_int();
+  if (v->is_double()) return static_cast<int64_t>(v->as_double());
+  return def;
+}
+
+double Value::GetDouble(std::string_view key, double def) const {
+  if (!is_object()) return def;
+  const Value* v = as_object().Find(key);
+  return (v != nullptr && v->is_number()) ? v->as_double() : def;
+}
+
+std::string Value::GetString(std::string_view key, std::string_view def) const {
+  if (!is_object()) return std::string(def);
+  const Value* v = as_object().Find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : std::string(def);
+}
+
+bool operator==(const Value& a, const Value& b) {
+  // Integer/double cross-type comparison: equal if numerically equal. This
+  // keeps recipe hashing stable whether "0.5" parsed as double meets an int 0
+  // default or not, without surprising strictness elsewhere.
+  if (a.is_number() && b.is_number()) {
+    if (a.is_int() && b.is_int()) return a.as_int() == b.as_int();
+    return a.as_double() == b.as_double();
+  }
+  return a.data_ == b.data_;
+}
+
+}  // namespace dj::json

@@ -1,0 +1,25 @@
+#ifndef DJ_JSON_WRITER_H_
+#define DJ_JSON_WRITER_H_
+
+#include <string>
+
+#include "json/value.h"
+
+namespace dj::json {
+
+/// Serialization options.
+struct WriteOptions {
+  /// Pretty-print with 2-space indentation; compact single line otherwise.
+  bool pretty = false;
+};
+
+/// Serializes `v` to a JSON string. Output is deterministic (object entries
+/// keep insertion order), which config-hash caching relies on.
+std::string Write(const Value& v, const WriteOptions& options = {});
+
+/// Escapes `s` as a JSON string literal including surrounding quotes.
+std::string EscapeString(std::string_view s);
+
+}  // namespace dj::json
+
+#endif  // DJ_JSON_WRITER_H_

@@ -1,0 +1,313 @@
+#include "ops/dedup/document_dedup.h"
+
+#include <algorithm>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "text/ngram.h"
+#include "text/tokenizer.h"
+
+namespace dj::ops {
+namespace {
+
+std::string_view RowText(data::RowRef row, const std::string& key) {
+  const json::Value* v = row.Get(key);
+  if (v == nullptr || !v->is_string()) return {};
+  return v->as_string();
+}
+
+/// Runs `fn(row_index)` for every row, in parallel when a pool is given.
+void ForEachRow(data::Dataset* ds, ThreadPool* pool,
+                const std::function<void(size_t)>& fn) {
+  size_t n = ds->NumRows();
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->ParallelFor(n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+/// Selects survivors: for each union-find cluster the smallest row index is
+/// kept; records removed->kept pairs.
+data::Dataset CollectSurvivors(const data::Dataset& ds, UnionFind* uf,
+                               std::vector<DuplicatePair>* pairs,
+                               double similarity) {
+  size_t n = ds.NumRows();
+  std::unordered_map<size_t, size_t> cluster_first;
+  std::vector<size_t> keep;
+  keep.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t root = uf->Find(i);
+    auto [it, inserted] = cluster_first.emplace(root, i);
+    if (inserted) {
+      keep.push_back(i);
+    } else if (pairs != nullptr) {
+      pairs->push_back({it->second, i, similarity});
+    }
+  }
+  return ds.Select(keep);
+}
+
+}  // namespace
+
+// ------------------------------------------- DocumentExactDeduplicator --
+
+DocumentExactDeduplicator::DocumentExactDeduplicator(const json::Value& config)
+    : Deduplicator("document_exact_deduplicator", config),
+      lowercase_(Param("lowercase", true)),
+      ignore_whitespace_(Param("ignore_whitespace", true)) {
+  SetEffectiveParam("lowercase", json::Value(lowercase_));
+  SetEffectiveParam("ignore_whitespace", json::Value(ignore_whitespace_));
+}
+
+Fingerprint128 DocumentExactDeduplicator::FingerprintOf(
+    std::string_view text) const {
+  if (!lowercase_ && !ignore_whitespace_) return Fingerprint(text);
+  std::string norm;
+  norm.reserve(text.size());
+  for (char c : text) {
+    if (ignore_whitespace_ &&
+        (c == ' ' || c == '\t' || c == '\n' || c == '\r')) {
+      continue;
+    }
+    if (lowercase_ && c >= 'A' && c <= 'Z') c = static_cast<char>(c + 32);
+    norm.push_back(c);
+  }
+  return Fingerprint(norm);
+}
+
+Status DocumentExactDeduplicator::ComputeHash(data::RowRef row,
+                                              SampleContext*) {
+  Fingerprint128 fp = FingerprintOf(RowText(row, text_key()));
+  fingerprints_[row.row()] = fp;
+  // Also expose the hash as a stat for tracing and analysis.
+  return row.Set(std::string(data::kStatsField) + ".doc_hash",
+                 json::Value(FingerprintHex(fp)));
+}
+
+Result<data::Dataset> DocumentExactDeduplicator::Deduplicate(
+    data::Dataset dataset, ThreadPool* pool,
+    std::vector<DuplicatePair>* pairs) {
+  size_t n = dataset.NumRows();
+  fingerprints_.assign(n, Fingerprint128{});
+  dataset.EnsureColumn(data::kStatsField);
+  Status status;
+  std::mutex status_mutex;
+  ForEachRow(&dataset, pool, [&](size_t i) {
+    Status s = ComputeHash(dataset.Row(i), nullptr);
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(status_mutex);
+      if (status.ok()) status = std::move(s);
+    }
+  });
+  DJ_RETURN_IF_ERROR(status);
+  std::unordered_map<Fingerprint128, size_t, Fingerprint128Hash> first_seen;
+  std::vector<size_t> keep;
+  keep.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto [it, inserted] = first_seen.emplace(fingerprints_[i], i);
+    if (inserted) {
+      keep.push_back(i);
+    } else if (pairs != nullptr) {
+      pairs->push_back({it->second, i, 1.0});
+    }
+  }
+  return dataset.Select(keep);
+}
+
+// ----------------------------------------- DocumentMinHashDeduplicator --
+
+DocumentMinHashDeduplicator::DocumentMinHashDeduplicator(
+    const json::Value& config)
+    : Deduplicator("document_minhash_deduplicator", config),
+      num_perm_(Param("num_perm", static_cast<int64_t>(128))),
+      shingle_size_(Param("shingle_size", static_cast<int64_t>(5))),
+      threshold_(Param("jaccard_threshold", 0.7)),
+      lowercase_(Param("lowercase", true)),
+      hasher_(static_cast<size_t>(num_perm_)) {
+  SetEffectiveParam("num_perm", json::Value(num_perm_));
+  SetEffectiveParam("shingle_size", json::Value(shingle_size_));
+  SetEffectiveParam("jaccard_threshold", json::Value(threshold_));
+  SetEffectiveParam("lowercase", json::Value(lowercase_));
+  // Pick (bands, rows): rows such that the LSH S-curve crosses near the
+  // Jaccard threshold.
+  lsh_.rows = threshold_ >= 0.85 ? 16 : threshold_ >= 0.6 ? 8 : 4;
+  lsh_.bands = static_cast<size_t>(num_perm_) / lsh_.rows;
+}
+
+Status DocumentMinHashDeduplicator::ComputeHash(data::RowRef row,
+                                                SampleContext* ctx) {
+  std::string_view text = RowText(row, text_key());
+  std::optional<SampleContext> local;
+  if (ctx == nullptr) {
+    local.emplace(text);
+    ctx = &*local;
+  }
+  const std::vector<std::string>& words =
+      lowercase_ ? ctx->WordsLower() : ctx->Words();
+  std::vector<uint64_t> shingles =
+      text::HashedWordNgrams(words, static_cast<size_t>(shingle_size_));
+  if (shingles.empty() && !words.empty()) {
+    // Short docs: fall back to unigram shingles.
+    shingles = text::HashedWordNgrams(words, 1);
+  }
+  signatures_[row.row()] = hasher_.Signature(shingles);
+  return Status::Ok();
+}
+
+Result<data::Dataset> DocumentMinHashDeduplicator::Deduplicate(
+    data::Dataset dataset, ThreadPool* pool,
+    std::vector<DuplicatePair>* pairs) {
+  size_t n = dataset.NumRows();
+  signatures_.assign(n, {});
+  ForEachRow(&dataset, pool,
+             [&](size_t i) { ComputeHash(dataset.Row(i), nullptr); });
+  // LSH banding: bucket rows by band keys, verify candidates.
+  UnionFind uf(n);
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  for (size_t i = 0; i < n; ++i) {
+    for (uint64_t key : LshBandKeys(signatures_[i], lsh_)) {
+      buckets[key].push_back(i);
+    }
+  }
+  for (const auto& [key, members] : buckets) {
+    if (members.size() < 2) continue;
+    for (size_t a = 0; a + 1 < members.size(); ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        size_t i = members[a], j = members[b];
+        if (uf.Find(i) == uf.Find(j)) continue;
+        double sim =
+            MinHasher::EstimateJaccard(signatures_[i], signatures_[j]);
+        if (sim >= threshold_) uf.Union(i, j);
+      }
+    }
+  }
+  return CollectSurvivors(dataset, &uf, pairs, threshold_);
+}
+
+// ----------------------------------------- DocumentSimHashDeduplicator --
+
+DocumentSimHashDeduplicator::DocumentSimHashDeduplicator(
+    const json::Value& config)
+    : Deduplicator("document_simhash_deduplicator", config),
+      shingle_size_(Param("shingle_size", static_cast<int64_t>(3))),
+      hamming_threshold_(Param("hamming_threshold", static_cast<int64_t>(4))) {
+  SetEffectiveParam("shingle_size", json::Value(shingle_size_));
+  SetEffectiveParam("hamming_threshold", json::Value(hamming_threshold_));
+}
+
+Status DocumentSimHashDeduplicator::ComputeHash(data::RowRef row,
+                                                SampleContext* ctx) {
+  std::string_view text = RowText(row, text_key());
+  std::optional<SampleContext> local;
+  if (ctx == nullptr) {
+    local.emplace(text);
+    ctx = &*local;
+  }
+  fingerprints_[row.row()] = SimHash(text::HashedWordNgrams(
+      ctx->WordsLower(), static_cast<size_t>(shingle_size_)));
+  return Status::Ok();
+}
+
+Result<data::Dataset> DocumentSimHashDeduplicator::Deduplicate(
+    data::Dataset dataset, ThreadPool* pool,
+    std::vector<DuplicatePair>* pairs) {
+  size_t n = dataset.NumRows();
+  fingerprints_.assign(n, 0);
+  ForEachRow(&dataset, pool,
+             [&](size_t i) { ComputeHash(dataset.Row(i), nullptr); });
+  UnionFind uf(n);
+  // Bucket by each of the four 16-bit bands; verify Hamming distance.
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  for (size_t i = 0; i < n; ++i) {
+    for (int band = 0; band < 4; ++band) {
+      uint64_t key = ((fingerprints_[i] >> (band * 16)) & 0xFFFF) |
+                     (static_cast<uint64_t>(band) << 32);
+      buckets[key].push_back(i);
+    }
+  }
+  for (const auto& [key, members] : buckets) {
+    if (members.size() < 2) continue;
+    for (size_t a = 0; a + 1 < members.size(); ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        size_t i = members[a], j = members[b];
+        if (uf.Find(i) == uf.Find(j)) continue;
+        if (HammingDistance64(fingerprints_[i], fingerprints_[j]) <=
+            hamming_threshold_) {
+          uf.Union(i, j);
+        }
+      }
+    }
+  }
+  return CollectSurvivors(dataset, &uf, pairs, 1.0);
+}
+
+// ------------------------------------------- NgramOverlapDeduplicator --
+
+NgramOverlapDeduplicator::NgramOverlapDeduplicator(const json::Value& config)
+    : Deduplicator("ngram_overlap_deduplicator", config),
+      shingle_size_(Param("shingle_size", static_cast<int64_t>(3))),
+      threshold_(Param("jaccard_threshold", 0.8)) {
+  SetEffectiveParam("shingle_size", json::Value(shingle_size_));
+  SetEffectiveParam("jaccard_threshold", json::Value(threshold_));
+}
+
+Status NgramOverlapDeduplicator::ComputeHash(data::RowRef row,
+                                             SampleContext* ctx) {
+  std::string_view text = RowText(row, text_key());
+  std::optional<SampleContext> local;
+  if (ctx == nullptr) {
+    local.emplace(text);
+    ctx = &*local;
+  }
+  std::vector<uint64_t> grams = text::HashedWordNgrams(
+      ctx->WordsLower(), static_cast<size_t>(shingle_size_));
+  std::sort(grams.begin(), grams.end());
+  grams.erase(std::unique(grams.begin(), grams.end()), grams.end());
+  shingles_[row.row()] = std::move(grams);
+  return Status::Ok();
+}
+
+Result<data::Dataset> NgramOverlapDeduplicator::Deduplicate(
+    data::Dataset dataset, ThreadPool* pool,
+    std::vector<DuplicatePair>* pairs) {
+  size_t n = dataset.NumRows();
+  shingles_.assign(n, {});
+  ForEachRow(&dataset, pool,
+             [&](size_t i) { ComputeHash(dataset.Row(i), nullptr); });
+  // Inverted index over a sample of shingles (every shingle for short docs,
+  // min-K for long ones) to generate candidates.
+  constexpr size_t kIndexPerDoc = 24;
+  std::unordered_map<uint64_t, std::vector<size_t>> index;
+  UnionFind uf(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& grams = shingles_[i];
+    size_t take = std::min(grams.size(), kIndexPerDoc);
+    // grams are sorted, so the first K form a deterministic min-K sample —
+    // identical documents sample identical shingles.
+    std::vector<size_t> candidates;
+    for (size_t g = 0; g < take; ++g) {
+      auto it = index.find(grams[g]);
+      if (it != index.end()) {
+        for (size_t j : it->second) candidates.push_back(j);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (size_t j : candidates) {
+      if (uf.Find(i) == uf.Find(j)) continue;
+      double sim = text::JaccardSimilarity(shingles_[i], shingles_[j]);
+      if (sim >= threshold_) uf.Union(i, j);
+    }
+    for (size_t g = 0; g < take; ++g) index[grams[g]].push_back(i);
+  }
+  return CollectSurvivors(dataset, &uf, pairs, threshold_);
+}
+
+}  // namespace dj::ops

@@ -1,0 +1,117 @@
+#include "ops/dedup/granular_dedup.h"
+
+#include <optional>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "text/utf8.h"
+
+namespace dj::ops {
+
+GranularDeduplicatorBase::GranularDeduplicatorBase(std::string name,
+                                                   const json::Value& config)
+    : Deduplicator(std::move(name), config),
+      min_unit_length_(Param("min_unit_length", static_cast<int64_t>(8))) {
+  SetEffectiveParam("min_unit_length", json::Value(min_unit_length_));
+}
+
+Status GranularDeduplicatorBase::ComputeHash(data::RowRef row,
+                                             SampleContext* ctx) {
+  const json::Value* v = row.Get(text_key());
+  std::string_view text =
+      (v != nullptr && v->is_string()) ? std::string_view(v->as_string())
+                                       : std::string_view();
+  std::optional<SampleContext> local;
+  if (ctx == nullptr) {
+    local.emplace(text);
+    ctx = &*local;
+  }
+  std::vector<uint64_t> hashes;
+  for (const std::string& unit : SplitUnits(ctx)) {
+    std::string key = AsciiToLower(StripAsciiWhitespace(unit));
+    hashes.push_back(Fnv1a64(key));
+  }
+  unit_hashes_[row.row()] = std::move(hashes);
+  return Status::Ok();
+}
+
+Result<data::Dataset> GranularDeduplicatorBase::Deduplicate(
+    data::Dataset dataset, ThreadPool* pool,
+    std::vector<DuplicatePair>* pairs) {
+  size_t n = dataset.NumRows();
+  unit_hashes_.assign(n, {});
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) ComputeHash(dataset.Row(i), nullptr);
+    });
+  } else {
+    for (size_t i = 0; i < n; ++i) ComputeHash(dataset.Row(i), nullptr);
+  }
+  // Sequential pass: first occurrence of each unit wins, later ones are
+  // removed from their samples.
+  std::unordered_set<uint64_t> seen;
+  std::vector<size_t> keep_rows;
+  keep_rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    data::RowRef row = dataset.Row(i);
+    const json::Value* v = row.Get(text_key());
+    if (v == nullptr || !v->is_string()) {
+      keep_rows.push_back(i);
+      continue;
+    }
+    SampleContext ctx(v->as_string());
+    std::vector<std::string> units = SplitUnits(&ctx);
+    const std::vector<uint64_t>& hashes = unit_hashes_[i];
+    std::string rebuilt;
+    bool changed = false;
+    size_t kept_units = 0;
+    for (size_t u = 0; u < units.size(); ++u) {
+      bool is_dup = false;
+      if (text::CodepointCount(units[u]) >=
+          static_cast<size_t>(min_unit_length_)) {
+        is_dup = !seen.insert(hashes[u]).second;
+      }
+      if (is_dup) {
+        changed = true;
+        continue;
+      }
+      if (kept_units > 0) rebuilt.append(Joiner());
+      rebuilt += units[u];
+      ++kept_units;
+    }
+    if (!changed) {
+      keep_rows.push_back(i);
+      continue;
+    }
+    if (kept_units == 0) {
+      if (pairs != nullptr) {
+        // Whole sample was duplicate boilerplate; report against itself.
+        pairs->push_back({i, i, 1.0});
+      }
+      continue;  // drop empty sample
+    }
+    DJ_RETURN_IF_ERROR(row.Set(text_key(), json::Value(std::move(rebuilt))));
+    keep_rows.push_back(i);
+  }
+  return dataset.Select(keep_rows);
+}
+
+ParagraphExactDeduplicator::ParagraphExactDeduplicator(
+    const json::Value& config)
+    : GranularDeduplicatorBase("paragraph_exact_deduplicator", config) {}
+
+std::vector<std::string> ParagraphExactDeduplicator::SplitUnits(
+    SampleContext* ctx) const {
+  return ctx->Paragraphs();
+}
+
+SentenceExactDeduplicator::SentenceExactDeduplicator(const json::Value& config)
+    : GranularDeduplicatorBase("sentence_exact_deduplicator", config) {}
+
+std::vector<std::string> SentenceExactDeduplicator::SplitUnits(
+    SampleContext* ctx) const {
+  return ctx->Sentences();
+}
+
+}  // namespace dj::ops

@@ -1,0 +1,59 @@
+#ifndef DJ_OPS_DEDUP_GRANULAR_DEDUP_H_
+#define DJ_OPS_DEDUP_GRANULAR_DEDUP_H_
+
+#include <string>
+#include <vector>
+
+#include "ops/op_base.h"
+
+namespace dj::ops {
+
+/// Common implementation of corpus-wide unit-level deduplication: text is
+/// split into units (paragraphs or sentences); every unit seen before —
+/// anywhere in the dataset — is removed from the sample, keeping only its
+/// first occurrence. Samples left empty afterwards are dropped. This is the
+/// line-level dedup that removes boilerplate repeated across web pages.
+class GranularDeduplicatorBase : public Deduplicator {
+ public:
+  Status ComputeHash(data::RowRef row, SampleContext* ctx) override;
+  Result<data::Dataset> Deduplicate(
+      data::Dataset dataset, ThreadPool* pool,
+      std::vector<DuplicatePair>* pairs) override;
+
+ protected:
+  GranularDeduplicatorBase(std::string name, const json::Value& config);
+
+  /// Splits text into units with their joiner preserved on rebuild.
+  virtual std::vector<std::string> SplitUnits(SampleContext* ctx) const = 0;
+  virtual std::string_view Joiner() const = 0;
+
+ private:
+  int64_t min_unit_length_;
+  std::vector<std::vector<uint64_t>> unit_hashes_;
+};
+
+/// paragraph_exact_deduplicator: corpus-wide paragraph dedup.
+class ParagraphExactDeduplicator : public GranularDeduplicatorBase {
+ public:
+  explicit ParagraphExactDeduplicator(const json::Value& config);
+  double CostEstimate() const override { return 2.0; }
+
+ protected:
+  std::vector<std::string> SplitUnits(SampleContext* ctx) const override;
+  std::string_view Joiner() const override { return "\n\n"; }
+};
+
+/// sentence_exact_deduplicator: corpus-wide sentence dedup.
+class SentenceExactDeduplicator : public GranularDeduplicatorBase {
+ public:
+  explicit SentenceExactDeduplicator(const json::Value& config);
+  double CostEstimate() const override { return 3.0; }
+
+ protected:
+  std::vector<std::string> SplitUnits(SampleContext* ctx) const override;
+  std::string_view Joiner() const override { return " "; }
+};
+
+}  // namespace dj::ops
+
+#endif  // DJ_OPS_DEDUP_GRANULAR_DEDUP_H_

@@ -1,0 +1,100 @@
+#include "ops/dedup/minhash.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace dj::ops {
+
+MinHasher::MinHasher(size_t num_perm, uint64_t seed) : num_perm_(num_perm) {
+  mul_.reserve(num_perm_);
+  xor_.reserve(num_perm_);
+  uint64_t state = seed;
+  for (size_t i = 0; i < num_perm_; ++i) {
+    state = SplitMix64(state);
+    mul_.push_back(state | 1);  // odd multiplier => bijection mod 2^64
+    state = SplitMix64(state);
+    xor_.push_back(state);
+  }
+}
+
+std::vector<uint64_t> MinHasher::Signature(
+    const std::vector<uint64_t>& shingles) const {
+  std::vector<uint64_t> sig(num_perm_, std::numeric_limits<uint64_t>::max());
+  for (uint64_t shingle : shingles) {
+    for (size_t i = 0; i < num_perm_; ++i) {
+      uint64_t h = (shingle ^ xor_[i]) * mul_[i];
+      h ^= h >> 29;
+      if (h < sig[i]) sig[i] = h;
+    }
+  }
+  return sig;
+}
+
+double MinHasher::EstimateJaccard(const std::vector<uint64_t>& a,
+                                  const std::vector<uint64_t>& b) {
+  if (a.empty() || a.size() != b.size()) return 0.0;
+  size_t equal = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++equal;
+  }
+  return static_cast<double>(equal) / static_cast<double>(a.size());
+}
+
+std::vector<uint64_t> LshBandKeys(const std::vector<uint64_t>& signature,
+                                  const LshParams& params) {
+  std::vector<uint64_t> keys;
+  keys.reserve(params.bands);
+  for (size_t b = 0; b < params.bands; ++b) {
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^ b;
+    for (size_t r = 0; r < params.rows; ++r) {
+      size_t idx = b * params.rows + r;
+      if (idx >= signature.size()) break;
+      h = HashCombine(h, signature[idx]);
+    }
+    keys.push_back(h);
+  }
+  return keys;
+}
+
+uint64_t SimHash(const std::vector<uint64_t>& features) {
+  int counts[64] = {0};
+  for (uint64_t f : features) {
+    uint64_t h = SplitMix64(f);
+    for (int bit = 0; bit < 64; ++bit) {
+      counts[bit] += (h >> bit) & 1 ? 1 : -1;
+    }
+  }
+  uint64_t out = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    if (counts[bit] > 0) out |= uint64_t{1} << bit;
+  }
+  return out;
+}
+
+int HammingDistance64(uint64_t a, uint64_t b) {
+  return __builtin_popcountll(a ^ b);
+}
+
+UnionFind::UnionFind(size_t n) : parent_(n), rank_(n, 0) {
+  for (size_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+size_t UnionFind::Find(size_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+void UnionFind::Union(size_t a, size_t b) {
+  size_t ra = Find(a), rb = Find(b);
+  if (ra == rb) return;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+}
+
+}  // namespace dj::ops

@@ -1,0 +1,136 @@
+#include "ops/filters/field_filters.h"
+
+#include <limits>
+
+namespace dj::ops {
+namespace {
+
+std::vector<std::string> ReadStringList(const json::Value& config,
+                                        std::string_view key) {
+  std::vector<std::string> out;
+  if (!config.is_object()) return out;
+  const json::Value* list = config.as_object().Find(key);
+  if (list == nullptr || !list->is_array()) return out;
+  for (const auto& v : list->as_array()) {
+    if (v.is_string()) out.push_back(v.as_string());
+  }
+  return out;
+}
+
+}  // namespace
+
+// --------------------------------------------------------- SuffixFilter --
+
+SuffixFilter::SuffixFilter(const json::Value& config)
+    : Filter("suffix_filter", config),
+      field_(Param("field", "meta.suffix")),
+      suffixes_(ReadStringList(config, "suffixes")) {
+  SetEffectiveParam("field", json::Value(field_));
+  json::Array echo;
+  for (const auto& s : suffixes_) echo.emplace_back(s);
+  SetEffectiveParam("suffixes", json::Value(std::move(echo)));
+}
+
+std::vector<std::string> SuffixFilter::StatsKeys() const {
+  return {std::string(stats_keys::kSuffix)};
+}
+
+Status SuffixFilter::ComputeStats(data::RowRef row, SampleContext*) const {
+  if (HasStat(row, stats_keys::kSuffix)) return Status::Ok();
+  const json::Value* v = row.Get(field_);
+  std::string suffix = (v != nullptr && v->is_string()) ? v->as_string() : "";
+  return WriteStat(row, stats_keys::kSuffix, json::Value(std::move(suffix)));
+}
+
+Result<bool> SuffixFilter::KeepRow(data::RowRef row) const {
+  if (suffixes_.empty()) return true;
+  std::string path =
+      std::string(data::kStatsField) + "." + std::string(stats_keys::kSuffix);
+  const json::Value* v = row.Get(path);
+  if (v == nullptr || !v->is_string()) return false;
+  for (const std::string& s : suffixes_) {
+    if (v->as_string() == s) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------- SpecifiedFieldFilter --
+
+SpecifiedFieldFilter::SpecifiedFieldFilter(const json::Value& config)
+    : Filter("specified_field_filter", config),
+      field_(Param("field", "meta.tag")) {
+  SetEffectiveParam("field", json::Value(field_));
+  if (config.is_object()) {
+    const json::Value* list = config.as_object().Find("target_values");
+    if (list != nullptr && list->is_array()) {
+      targets_ = list->as_array();
+    }
+  }
+}
+
+std::vector<std::string> SpecifiedFieldFilter::StatsKeys() const {
+  return {};  // decision reads the live field; nothing derived to cache
+}
+
+Status SpecifiedFieldFilter::ComputeStats(data::RowRef, SampleContext*) const {
+  return Status::Ok();
+}
+
+Result<bool> SpecifiedFieldFilter::KeepRow(data::RowRef row) const {
+  if (targets_.empty()) return true;
+  const json::Value* v = row.Get(field_);
+  if (v == nullptr) return false;
+  for (const json::Value& target : targets_) {
+    if (*v == target) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------ SpecifiedNumericFieldFilter --
+
+SpecifiedNumericFieldFilter::SpecifiedNumericFieldFilter(
+    const json::Value& config)
+    : Filter("specified_numeric_field_filter", config),
+      field_(Param("field", "meta.value")),
+      min_(Param("min", std::numeric_limits<double>::lowest())),
+      max_(Param("max", std::numeric_limits<double>::max())) {
+  SetEffectiveParam("field", json::Value(field_));
+  SetEffectiveParam("min", json::Value(min_));
+  SetEffectiveParam("max", json::Value(max_));
+}
+
+std::vector<std::string> SpecifiedNumericFieldFilter::StatsKeys() const {
+  return {};
+}
+
+Status SpecifiedNumericFieldFilter::ComputeStats(data::RowRef,
+                                                 SampleContext*) const {
+  return Status::Ok();
+}
+
+Result<bool> SpecifiedNumericFieldFilter::KeepRow(data::RowRef row) const {
+  const json::Value* v = row.Get(field_);
+  if (v == nullptr || !v->is_number()) return false;
+  double x = v->as_double();
+  return x >= min_ && x <= max_;
+}
+
+// --------------------------------------------------- FieldExistsFilter --
+
+FieldExistsFilter::FieldExistsFilter(const json::Value& config)
+    : Filter("field_exists_filter", config), field_(Param("field", "text")) {
+  SetEffectiveParam("field", json::Value(field_));
+}
+
+std::vector<std::string> FieldExistsFilter::StatsKeys() const { return {}; }
+
+Status FieldExistsFilter::ComputeStats(data::RowRef, SampleContext*) const {
+  return Status::Ok();
+}
+
+Result<bool> FieldExistsFilter::KeepRow(data::RowRef row) const {
+  const json::Value* v = row.Get(field_);
+  return v != nullptr && !v->is_null();
+}
+
+}  // namespace dj::ops

@@ -1,0 +1,141 @@
+#ifndef DJ_OPS_FILTERS_STATS_FILTERS_H_
+#define DJ_OPS_FILTERS_STATS_FILTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "ops/op_base.h"
+#include "ops/stats_keys.h"
+
+namespace dj::ops {
+
+/// Base for filters whose stat is a single number with [min, max] bounds.
+/// Subclasses implement ComputeValue; configuration supplies `min_<key>` /
+/// `max_<key>` or generic `min` / `max` params.
+class RangeStatFilter : public Filter {
+ public:
+  std::vector<std::string> StatsKeys() const override { return {stat_key_}; }
+  Status ComputeStats(data::RowRef row, SampleContext* ctx) const override;
+  Result<bool> KeepRow(data::RowRef row) const override;
+
+ protected:
+  RangeStatFilter(std::string name, const json::Value& config,
+                  std::string stat_key, double default_min,
+                  double default_max);
+
+  virtual double ComputeValue(std::string_view text,
+                              SampleContext* ctx) const = 0;
+
+  double min_value() const { return min_; }
+  double max_value() const { return max_; }
+
+ private:
+  std::string stat_key_;
+  double min_;
+  double max_;
+};
+
+/// alphanumeric_filter: ratio of alphanumeric codepoints to all codepoints.
+class AlphanumericFilter : public RangeStatFilter {
+ public:
+  explicit AlphanumericFilter(const json::Value& config);
+  double ComputeValue(std::string_view text, SampleContext*) const override;
+  double CostEstimate() const override { return 0.4; }
+};
+
+/// average_line_length_filter: mean line length in codepoints.
+class AverageLineLengthFilter : public RangeStatFilter {
+ public:
+  explicit AverageLineLengthFilter(const json::Value& config);
+  double ComputeValue(std::string_view text, SampleContext* ctx) const override;
+  bool UsesContext() const override { return true; }
+  double CostEstimate() const override { return 0.3; }
+};
+
+/// character_repetition_filter: duplicated char-n-gram ratio (default n=10).
+class CharacterRepetitionFilter : public RangeStatFilter {
+ public:
+  explicit CharacterRepetitionFilter(const json::Value& config);
+  double ComputeValue(std::string_view text, SampleContext*) const override;
+  double CostEstimate() const override { return 1.2; }
+
+ private:
+  int64_t rep_len_;
+};
+
+/// maximum_line_length_filter: longest line in codepoints.
+class MaximumLineLengthFilter : public RangeStatFilter {
+ public:
+  explicit MaximumLineLengthFilter(const json::Value& config);
+  double ComputeValue(std::string_view text, SampleContext* ctx) const override;
+  bool UsesContext() const override { return true; }
+  double CostEstimate() const override { return 0.3; }
+};
+
+/// special_characters_filter: ratio of non-alnum, non-whitespace,
+/// non-CJK codepoints.
+class SpecialCharactersFilter : public RangeStatFilter {
+ public:
+  explicit SpecialCharactersFilter(const json::Value& config);
+  double ComputeValue(std::string_view text, SampleContext*) const override;
+  double CostEstimate() const override { return 0.4; }
+};
+
+/// text_length_filter: length in codepoints.
+class TextLengthFilter : public RangeStatFilter {
+ public:
+  explicit TextLengthFilter(const json::Value& config);
+  double ComputeValue(std::string_view text, SampleContext*) const override;
+  double CostEstimate() const override { return 0.2; }
+};
+
+/// token_num_filter: approximate LLM token count.
+class TokenNumFilter : public RangeStatFilter {
+ public:
+  explicit TokenNumFilter(const json::Value& config);
+  double ComputeValue(std::string_view text, SampleContext*) const override;
+  double CostEstimate() const override { return 0.6; }
+};
+
+/// word_num_filter: number of word tokens.
+class WordNumFilter : public RangeStatFilter {
+ public:
+  explicit WordNumFilter(const json::Value& config);
+  double ComputeValue(std::string_view text, SampleContext* ctx) const override;
+  bool UsesContext() const override { return true; }
+  double CostEstimate() const override { return 1.0; }
+};
+
+/// word_repetition_filter: duplicated word-n-gram ratio (default n=5).
+class WordRepetitionFilter : public RangeStatFilter {
+ public:
+  explicit WordRepetitionFilter(const json::Value& config);
+  double ComputeValue(std::string_view text, SampleContext* ctx) const override;
+  bool UsesContext() const override { return true; }
+  double CostEstimate() const override { return 1.4; }
+
+ private:
+  int64_t rep_len_;
+};
+
+/// paragraph_num_filter: number of paragraphs.
+class ParagraphNumFilter : public RangeStatFilter {
+ public:
+  explicit ParagraphNumFilter(const json::Value& config);
+  double ComputeValue(std::string_view text, SampleContext* ctx) const override;
+  bool UsesContext() const override { return true; }
+  double CostEstimate() const override { return 0.3; }
+};
+
+/// sentence_num_filter: number of sentences.
+class SentenceNumFilter : public RangeStatFilter {
+ public:
+  explicit SentenceNumFilter(const json::Value& config);
+  double ComputeValue(std::string_view text, SampleContext* ctx) const override;
+  bool UsesContext() const override { return true; }
+  double CostEstimate() const override { return 0.8; }
+};
+
+}  // namespace dj::ops
+
+#endif  // DJ_OPS_FILTERS_STATS_FILTERS_H_

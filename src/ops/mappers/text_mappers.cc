@@ -1,0 +1,253 @@
+#include "ops/mappers/text_mappers.h"
+
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "text/normalize.h"
+#include "text/utf8.h"
+
+namespace dj::ops {
+namespace {
+
+/// Splits `input` into word / non-word runs and rebuilds it, dropping words
+/// for which `drop(word)` is true along with one adjacent space.
+template <typename DropFn>
+std::string RebuildDroppingWords(std::string_view input, DropFn&& drop) {
+  std::string out;
+  out.reserve(input.size());
+  size_t i = 0;
+  while (i < input.size()) {
+    if (std::isspace(static_cast<unsigned char>(input[i]))) {
+      out.push_back(input[i]);
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    while (i < input.size() &&
+           !std::isspace(static_cast<unsigned char>(input[i]))) {
+      ++i;
+    }
+    std::string_view word = input.substr(start, i - start);
+    if (drop(word)) {
+      // Swallow one following space so double gaps don't appear.
+      if (i < input.size() && input[i] == ' ') ++i;
+      continue;
+    }
+    out.append(word);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------ FixUnicodeMapper --
+
+FixUnicodeMapper::FixUnicodeMapper(const json::Value& config)
+    : Mapper("fix_unicode_mapper", config) {}
+
+Result<std::string> FixUnicodeMapper::TransformText(std::string_view input,
+                                                    SampleContext*) const {
+  return text::FixUnicode(input);
+}
+
+// ------------------------------------------------------- LowerCaseMapper --
+
+LowerCaseMapper::LowerCaseMapper(const json::Value& config)
+    : Mapper("lower_case_mapper", config) {}
+
+Result<std::string> LowerCaseMapper::TransformText(std::string_view input,
+                                                   SampleContext*) const {
+  return AsciiToLower(input);
+}
+
+// ------------------------------------- PunctuationNormalizationMapper --
+
+PunctuationNormalizationMapper::PunctuationNormalizationMapper(
+    const json::Value& config)
+    : Mapper("punctuation_normalization_mapper", config) {}
+
+Result<std::string> PunctuationNormalizationMapper::TransformText(
+    std::string_view input, SampleContext*) const {
+  return text::NormalizePunctuation(input);
+}
+
+// ------------------------------------------------- RemoveLongWordsMapper --
+
+RemoveLongWordsMapper::RemoveLongWordsMapper(const json::Value& config)
+    : Mapper("remove_long_words_mapper", config),
+      max_len_(Param("max_len", static_cast<int64_t>(50))) {
+  SetEffectiveParam("max_len", json::Value(max_len_));
+}
+
+Result<std::string> RemoveLongWordsMapper::TransformText(
+    std::string_view input, SampleContext*) const {
+  size_t limit = static_cast<size_t>(max_len_);
+  return RebuildDroppingWords(input, [limit](std::string_view word) {
+    return text::CodepointCount(word) > limit;
+  });
+}
+
+// ------------------------------------------- RemoveRepeatSentencesMapper --
+
+RemoveRepeatSentencesMapper::RemoveRepeatSentencesMapper(
+    const json::Value& config)
+    : Mapper("remove_repeat_sentences_mapper", config),
+      min_repeat_sentence_length_(
+          Param("min_repeat_sentence_length", static_cast<int64_t>(2))) {
+  SetEffectiveParam("min_repeat_sentence_length",
+                    json::Value(min_repeat_sentence_length_));
+}
+
+Result<std::string> RemoveRepeatSentencesMapper::TransformText(
+    std::string_view input, SampleContext* ctx) const {
+  const std::vector<std::string>& sentences = ctx->Sentences();
+  if (sentences.size() <= 1) return std::string(input);
+  std::unordered_set<std::string> seen;
+  std::string out;
+  out.reserve(input.size());
+  bool removed_any = false;
+  for (const std::string& sentence : sentences) {
+    if (text::CodepointCount(sentence) >=
+        static_cast<size_t>(min_repeat_sentence_length_)) {
+      std::string key = AsciiToLower(StripAsciiWhitespace(sentence));
+      if (!seen.insert(std::move(key)).second) {
+        removed_any = true;
+        continue;
+      }
+    }
+    if (!out.empty()) out.push_back(' ');
+    out += sentence;
+  }
+  // Rebuilding loses line structure; keep the input untouched when there
+  // was nothing to remove.
+  if (!removed_any) return std::string(input);
+  return out;
+}
+
+// -------------------------------------------- RemoveSpecificCharsMapper --
+
+RemoveSpecificCharsMapper::RemoveSpecificCharsMapper(const json::Value& config)
+    : Mapper("remove_specific_chars_mapper", config),
+      chars_(Param("chars_to_remove",
+                   "\xE2\x97\x86\xE2\x97\x8F\xE2\x96\xA0\xE2\x96\xBA"
+                   "\xE2\x96\xBC\xE2\x96\xB2\xE2\x9D\x96\xE2\x99\xA1"
+                   "\xE2\x96\xA1\xE2\x98\x85\xE2\x98\x86")) {
+  SetEffectiveParam("chars_to_remove", json::Value(chars_));
+}
+
+Result<std::string> RemoveSpecificCharsMapper::TransformText(
+    std::string_view input, SampleContext*) const {
+  return text::RemoveChars(input, chars_);
+}
+
+// --------------------------- RemoveWordsWithIncorrectSubstringsMapper --
+
+RemoveWordsWithIncorrectSubstringsMapper::
+    RemoveWordsWithIncorrectSubstringsMapper(const json::Value& config)
+    : Mapper("remove_words_with_incorrect_substrings_mapper", config) {
+  const json::Value* list =
+      config.is_object() ? config.as_object().Find("substrings") : nullptr;
+  if (list != nullptr && list->is_array()) {
+    for (const auto& v : list->as_array()) {
+      if (v.is_string()) substrings_.push_back(v.as_string());
+    }
+  }
+  if (substrings_.empty()) {
+    substrings_ = {"http", "www", ".com", "href", "//"};
+  }
+  json::Array echo;
+  for (const auto& s : substrings_) echo.emplace_back(s);
+  SetEffectiveParam("substrings", json::Value(std::move(echo)));
+}
+
+Result<std::string> RemoveWordsWithIncorrectSubstringsMapper::TransformText(
+    std::string_view input, SampleContext*) const {
+  return RebuildDroppingWords(input, [this](std::string_view word) {
+    for (const std::string& sub : substrings_) {
+      if (word.find(sub) != std::string_view::npos) return true;
+    }
+    return false;
+  });
+}
+
+// --------------------------------------------------- SentenceSplitMapper --
+
+SentenceSplitMapper::SentenceSplitMapper(const json::Value& config)
+    : Mapper("sentence_split_mapper", config) {}
+
+Result<std::string> SentenceSplitMapper::TransformText(
+    std::string_view input, SampleContext* ctx) const {
+  std::string out;
+  out.reserve(input.size());
+  for (const std::string& sentence : ctx->Sentences()) {
+    out += sentence;
+    out.push_back('\n');
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+// ------------------------------------- WhitespaceNormalizationMapper --
+
+WhitespaceNormalizationMapper::WhitespaceNormalizationMapper(
+    const json::Value& config)
+    : Mapper("whitespace_normalization_mapper", config) {}
+
+Result<std::string> WhitespaceNormalizationMapper::TransformText(
+    std::string_view input, SampleContext*) const {
+  return text::NormalizeWhitespace(input);
+}
+
+// -------------------------------------------------- ChineseConvertMapper --
+
+ChineseConvertMapper::ChineseConvertMapper(const json::Value& config)
+    : Mapper("chinese_convert_mapper", config) {}
+
+Result<std::string> ChineseConvertMapper::TransformText(
+    std::string_view input, SampleContext*) const {
+  // Compact traditional -> simplified table covering frequent characters.
+  static const std::unordered_map<uint32_t, uint32_t>& kMap = *[] {
+    auto* m = new std::unordered_map<uint32_t, uint32_t>{
+        {0x570B, 0x56FD},  // 國 -> 国
+        {0x9AD4, 0x4F53},  // 體 -> 体
+        {0x5B78, 0x5B66},  // 學 -> 学
+        {0x6703, 0x4F1A},  // 會 -> 会
+        {0x9F8D, 0x9F99},  // 龍 -> 龙
+        {0x9EBC, 0x4E48},  // 麼 -> 么
+        {0x7063, 0x6E7E},  // 灣 -> 湾
+        {0x8A9E, 0x8BED},  // 語 -> 语
+        {0x66F8, 0x4E66},  // 書 -> 书
+        {0x9580, 0x95E8},  // 門 -> 门
+        {0x99AC, 0x9A6C},  // 馬 -> 马
+        {0x98A8, 0x98CE},  // 風 -> 风
+        {0x96FB, 0x7535},  // 電 -> 电
+        {0x8ECA, 0x8F66},  // 車 -> 车
+        {0x9577, 0x957F},  // 長 -> 长
+        {0x6642, 0x65F6},  // 時 -> 时
+        {0x5F9E, 0x4ECE},  // 從 -> 从
+        {0x7576, 0x5F53},  // 當 -> 当
+        {0x767C, 0x53D1},  // 發 -> 发
+        {0x9EDE, 0x70B9},  // 點 -> 点
+    };
+    return m;
+  }();
+  std::string out;
+  out.reserve(input.size());
+  size_t pos = 0;
+  while (pos < input.size()) {
+    size_t start = pos;
+    uint32_t cp;
+    text::DecodeUtf8(input, &pos, &cp);
+    auto it = kMap.find(cp);
+    if (it != kMap.end()) {
+      text::EncodeUtf8(it->second, &out);
+    } else {
+      out.append(input.substr(start, pos - start));
+    }
+  }
+  return out;
+}
+
+}  // namespace dj::ops

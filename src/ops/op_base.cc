@@ -1,0 +1,73 @@
+#include "ops/op_base.h"
+
+#include <optional>
+
+#include "data/io.h"
+#include "data/sample.h"
+
+namespace dj::ops {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kFormatter:
+      return "formatter";
+    case OpKind::kMapper:
+      return "mapper";
+    case OpKind::kFilter:
+      return "filter";
+    case OpKind::kDeduplicator:
+      return "deduplicator";
+  }
+  return "unknown";
+}
+
+Op::Op(std::string name, const json::Value& config)
+    : name_(std::move(name)),
+      config_(config.is_object() ? config : json::Value(json::Object())),
+      text_key_(config_.GetString("text_key", data::kTextField)) {
+  SetEffectiveParam("text_key", json::Value(text_key_));
+}
+
+void Op::SetEffectiveParam(std::string_view key, json::Value value) {
+  config_.as_object().Set(std::string(key), std::move(value));
+}
+
+Status Mapper::ProcessRow(data::RowRef row, SampleContext* ctx) const {
+  const json::Value* v = row.Get(text_key());
+  if (v == nullptr || !v->is_string()) return Status::Ok();
+  std::optional<SampleContext> local;
+  if (ctx == nullptr) {
+    local.emplace(v->as_string());
+    ctx = &*local;
+  }
+  DJ_ASSIGN_OR_RETURN(std::string out, TransformText(v->as_string(), ctx));
+  if (out != v->as_string()) {
+    DJ_RETURN_IF_ERROR(row.Set(text_key(), json::Value(std::move(out))));
+  }
+  return Status::Ok();
+}
+
+Status Filter::WriteStat(data::RowRef row, std::string_view key,
+                         json::Value value) const {
+  std::string path = std::string(data::kStatsField) + "." + std::string(key);
+  return row.Set(path, std::move(value));
+}
+
+bool Filter::HasStat(data::RowRef row, std::string_view key) const {
+  std::string path = std::string(data::kStatsField) + "." + std::string(key);
+  const json::Value* v = row.Get(path);
+  return v != nullptr && !v->is_null();
+}
+
+double Filter::ReadStat(data::RowRef row, std::string_view key,
+                        double def) const {
+  std::string path = std::string(data::kStatsField) + "." + std::string(key);
+  return row.GetNumber(path, def);
+}
+
+Result<data::Dataset> Formatter::LoadFile(const std::string& path) {
+  DJ_ASSIGN_OR_RETURN(std::string content, data::ReadFile(path));
+  return LoadFromString(content, path);
+}
+
+}  // namespace dj::ops

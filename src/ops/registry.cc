@@ -1,0 +1,156 @@
+#include "ops/registry.h"
+
+#include "common/logging.h"
+#include "ops/dedup/document_dedup.h"
+#include "ops/dedup/granular_dedup.h"
+#include "ops/filters/field_filters.h"
+#include "ops/filters/lexicon_filters.h"
+#include "ops/filters/model_filters.h"
+#include "ops/filters/stats_filters.h"
+#include "ops/formatters/formatters.h"
+#include "ops/mappers/clean_mappers.h"
+#include "ops/mappers/latex_mappers.h"
+#include "ops/mappers/text_mappers.h"
+
+namespace dj::ops {
+
+OpRegistry& OpRegistry::Global() {
+  static OpRegistry* registry = [] {
+    auto* r = new OpRegistry();
+    RegisterBuiltinOps(r);
+    return r;
+  }();
+  return *registry;
+}
+
+void OpRegistry::Register(std::string name, Factory factory) {
+  for (auto& [existing, f] : factories_) {
+    if (existing == name) {
+      DJ_LOG(Warning) << "re-registering OP '" << name << "'";
+      f = std::move(factory);
+      return;
+    }
+  }
+  factories_.emplace_back(std::move(name), std::move(factory));
+}
+
+Result<std::unique_ptr<Op>> OpRegistry::Create(
+    std::string_view name, const json::Value& config) const {
+  for (const auto& [registered, factory] : factories_) {
+    if (registered == name) return factory(config);
+  }
+  return Status::NotFound("unknown OP '" + std::string(name) +
+                          "' (see OpRegistry::Names)");
+}
+
+bool OpRegistry::Contains(std::string_view name) const {
+  for (const auto& [registered, factory] : factories_) {
+    if (registered == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> OpRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+namespace {
+
+template <typename T>
+OpRegistry::Factory MakeFactory() {
+  return [](const json::Value& config) -> Result<std::unique_ptr<Op>> {
+    return std::unique_ptr<Op>(new T(config));
+  };
+}
+
+}  // namespace
+
+void RegisterBuiltinOps(OpRegistry* r) {
+  // Formatters (6).
+  r->Register("jsonl_formatter", MakeFactory<JsonlFormatter>());
+  r->Register("json_formatter", MakeFactory<JsonFormatter>());
+  r->Register("txt_formatter", MakeFactory<TxtFormatter>());
+  r->Register("csv_formatter", MakeFactory<CsvFormatter>());
+  r->Register("tsv_formatter", MakeFactory<TsvFormatter>());
+  r->Register("code_formatter", MakeFactory<CodeFormatter>());
+
+  // Mappers (20).
+  r->Register("clean_copyright_mapper", MakeFactory<CleanCopyrightMapper>());
+  r->Register("clean_email_mapper", MakeFactory<CleanEmailMapper>());
+  r->Register("clean_html_mapper", MakeFactory<CleanHtmlMapper>());
+  r->Register("clean_ip_mapper", MakeFactory<CleanIpMapper>());
+  r->Register("clean_links_mapper", MakeFactory<CleanLinksMapper>());
+  r->Register("expand_macro_mapper", MakeFactory<ExpandMacroMapper>());
+  r->Register("fix_unicode_mapper", MakeFactory<FixUnicodeMapper>());
+  r->Register("lower_case_mapper", MakeFactory<LowerCaseMapper>());
+  r->Register("punctuation_normalization_mapper",
+              MakeFactory<PunctuationNormalizationMapper>());
+  r->Register("remove_bibliography_mapper",
+              MakeFactory<RemoveBibliographyMapper>());
+  r->Register("remove_comments_mapper", MakeFactory<RemoveCommentsMapper>());
+  r->Register("remove_header_mapper", MakeFactory<RemoveHeaderMapper>());
+  r->Register("remove_long_words_mapper",
+              MakeFactory<RemoveLongWordsMapper>());
+  r->Register("remove_repeat_sentences_mapper",
+              MakeFactory<RemoveRepeatSentencesMapper>());
+  r->Register("remove_specific_chars_mapper",
+              MakeFactory<RemoveSpecificCharsMapper>());
+  r->Register("remove_table_text_mapper",
+              MakeFactory<RemoveTableTextMapper>());
+  r->Register("remove_words_with_incorrect_substrings_mapper",
+              MakeFactory<RemoveWordsWithIncorrectSubstringsMapper>());
+  r->Register("sentence_split_mapper", MakeFactory<SentenceSplitMapper>());
+  r->Register("whitespace_normalization_mapper",
+              MakeFactory<WhitespaceNormalizationMapper>());
+  r->Register("chinese_convert_mapper", MakeFactory<ChineseConvertMapper>());
+
+  // Filters (22).
+  r->Register("alphanumeric_filter", MakeFactory<AlphanumericFilter>());
+  r->Register("average_line_length_filter",
+              MakeFactory<AverageLineLengthFilter>());
+  r->Register("character_repetition_filter",
+              MakeFactory<CharacterRepetitionFilter>());
+  r->Register("maximum_line_length_filter",
+              MakeFactory<MaximumLineLengthFilter>());
+  r->Register("special_characters_filter",
+              MakeFactory<SpecialCharactersFilter>());
+  r->Register("text_length_filter", MakeFactory<TextLengthFilter>());
+  r->Register("token_num_filter", MakeFactory<TokenNumFilter>());
+  r->Register("word_num_filter", MakeFactory<WordNumFilter>());
+  r->Register("word_repetition_filter", MakeFactory<WordRepetitionFilter>());
+  r->Register("paragraph_num_filter", MakeFactory<ParagraphNumFilter>());
+  r->Register("sentence_num_filter", MakeFactory<SentenceNumFilter>());
+  r->Register("flagged_words_filter", MakeFactory<FlaggedWordsFilter>());
+  r->Register("stopwords_filter", MakeFactory<StopwordsFilter>());
+  r->Register("text_action_filter", MakeFactory<TextActionFilter>());
+  r->Register("text_entity_dependency_filter",
+              MakeFactory<TextEntityDependencyFilter>());
+  r->Register("language_id_score_filter",
+              MakeFactory<LanguageIdScoreFilter>());
+  r->Register("perplexity_filter", MakeFactory<PerplexityFilter>());
+  r->Register("quality_score_filter", MakeFactory<QualityScoreFilter>());
+  r->Register("suffix_filter", MakeFactory<SuffixFilter>());
+  r->Register("specified_field_filter", MakeFactory<SpecifiedFieldFilter>());
+  r->Register("specified_numeric_field_filter",
+              MakeFactory<SpecifiedNumericFieldFilter>());
+  r->Register("field_exists_filter", MakeFactory<FieldExistsFilter>());
+
+  // Deduplicators (6).
+  r->Register("document_exact_deduplicator",
+              MakeFactory<DocumentExactDeduplicator>());
+  r->Register("document_minhash_deduplicator",
+              MakeFactory<DocumentMinHashDeduplicator>());
+  r->Register("document_simhash_deduplicator",
+              MakeFactory<DocumentSimHashDeduplicator>());
+  r->Register("paragraph_exact_deduplicator",
+              MakeFactory<ParagraphExactDeduplicator>());
+  r->Register("sentence_exact_deduplicator",
+              MakeFactory<SentenceExactDeduplicator>());
+  r->Register("ngram_overlap_deduplicator",
+              MakeFactory<NgramOverlapDeduplicator>());
+}
+
+}  // namespace dj::ops

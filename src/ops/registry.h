@@ -1,0 +1,48 @@
+#ifndef DJ_OPS_REGISTRY_H_
+#define DJ_OPS_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "json/value.h"
+#include "ops/op_base.h"
+
+namespace dj::ops {
+
+/// Factory registry mapping OP names to constructors. Built-in OPs are
+/// registered explicitly by RegisterBuiltinOps (no static-initializer magic,
+/// which is fragile with static libraries); users register their own OPs the
+/// same way — the paper's "Advanced Extension" path.
+class OpRegistry {
+ public:
+  using Factory =
+      std::function<Result<std::unique_ptr<Op>>(const json::Value& config)>;
+
+  /// Process-wide registry with all built-in OPs registered.
+  static OpRegistry& Global();
+
+  /// Registers `factory` under `name`. Re-registering a name replaces the
+  /// factory (useful for tests); a warning is logged.
+  void Register(std::string name, Factory factory);
+
+  /// Instantiates the OP `name` with `config` (a JSON object of params).
+  Result<std::unique_ptr<Op>> Create(std::string_view name,
+                                     const json::Value& config) const;
+
+  bool Contains(std::string_view name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  std::vector<std::pair<std::string, Factory>> factories_;
+};
+
+/// Registers every built-in OP into `registry`. Idempotent.
+void RegisterBuiltinOps(OpRegistry* registry);
+
+}  // namespace dj::ops
+
+#endif  // DJ_OPS_REGISTRY_H_

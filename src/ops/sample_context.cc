@@ -1,0 +1,73 @@
+#include "ops/sample_context.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "text/sentence.h"
+#include "text/tokenizer.h"
+
+namespace dj::ops {
+
+std::atomic<uint64_t> SampleContext::Counters::words{0};
+std::atomic<uint64_t> SampleContext::Counters::lines{0};
+std::atomic<uint64_t> SampleContext::Counters::sentences{0};
+std::atomic<uint64_t> SampleContext::Counters::paragraphs{0};
+
+void SampleContext::Counters::Reset() {
+  words.store(0);
+  lines.store(0);
+  sentences.store(0);
+  paragraphs.store(0);
+}
+
+uint64_t SampleContext::Counters::Total() {
+  return words.load() + lines.load() + sentences.load() + paragraphs.load();
+}
+
+const std::vector<std::string>& SampleContext::Words() {
+  if (!words_.has_value()) {
+    words_ = text::TokenizeWords(text_);
+    Counters::words.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *words_;
+}
+
+const std::vector<std::string>& SampleContext::WordsLower() {
+  if (!words_lower_.has_value()) {
+    // Derive from Words() so the expensive tokenization is shared.
+    std::vector<std::string> lower = Words();
+    for (std::string& w : lower) {
+      for (char& c : w) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+    }
+    words_lower_ = std::move(lower);
+  }
+  return *words_lower_;
+}
+
+const std::vector<std::string>& SampleContext::Lines() {
+  if (!lines_.has_value()) {
+    lines_ = SplitLines(text_);
+    Counters::lines.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *lines_;
+}
+
+const std::vector<std::string>& SampleContext::Sentences() {
+  if (!sentences_.has_value()) {
+    sentences_ = text::SplitSentences(text_);
+    Counters::sentences.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *sentences_;
+}
+
+const std::vector<std::string>& SampleContext::Paragraphs() {
+  if (!paragraphs_.has_value()) {
+    paragraphs_ = text::SplitParagraphs(text_);
+    Counters::paragraphs.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *paragraphs_;
+}
+
+}  // namespace dj::ops

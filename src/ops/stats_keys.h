@@ -1,0 +1,39 @@
+#ifndef DJ_OPS_STATS_KEYS_H_
+#define DJ_OPS_STATS_KEYS_H_
+
+#include <string_view>
+
+namespace dj::ops {
+
+/// Names of per-sample statistics written under the "stats" column by
+/// Filters' ComputeStats (paper Sec. 4.2: stats are decoupled from the keep
+/// decision so the Analyzer can consume them for the whole dataset).
+namespace stats_keys {
+
+inline constexpr std::string_view kAlnumRatio = "alnum_ratio";
+inline constexpr std::string_view kAvgLineLength = "avg_line_length";
+inline constexpr std::string_view kCharRepRatio = "char_rep_ratio";
+inline constexpr std::string_view kFlaggedWordsRatio = "flagged_words_ratio";
+inline constexpr std::string_view kLang = "lang";
+inline constexpr std::string_view kLangScore = "lang_score";
+inline constexpr std::string_view kMaxLineLength = "max_line_length";
+inline constexpr std::string_view kPerplexity = "perplexity";
+inline constexpr std::string_view kSpecialCharRatio = "special_char_ratio";
+inline constexpr std::string_view kStopwordsRatio = "stopwords_ratio";
+inline constexpr std::string_view kSuffix = "suffix";
+inline constexpr std::string_view kTextLength = "text_len";
+inline constexpr std::string_view kNumTokens = "num_tokens";
+inline constexpr std::string_view kNumWords = "num_words";
+inline constexpr std::string_view kWordRepRatio = "word_rep_ratio";
+inline constexpr std::string_view kNumActionVerbs = "num_action_verbs";
+inline constexpr std::string_view kNumEntities = "num_entities";
+inline constexpr std::string_view kNumParagraphs = "num_paragraphs";
+inline constexpr std::string_view kNumSentences = "num_sentences";
+inline constexpr std::string_view kQualityScore = "quality_score";
+inline constexpr std::string_view kFieldValue = "field_value";
+inline constexpr std::string_view kDocHash = "doc_hash";
+
+}  // namespace stats_keys
+}  // namespace dj::ops
+
+#endif  // DJ_OPS_STATS_KEYS_H_

@@ -1,0 +1,51 @@
+#include "quality/hashing_tf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace dj::quality {
+
+HashingTf::HashingTf(uint32_t num_features) : num_features_(num_features) {
+  if (num_features_ == 0) num_features_ = 1;
+}
+
+SparseVector HashingTf::Transform(
+    const std::vector<std::string>& tokens) const {
+  std::unordered_map<uint32_t, float> counts;
+  counts.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    uint32_t bucket =
+        static_cast<uint32_t>(Fnv1a64(token) % num_features_);
+    counts[bucket] += 1.0f;
+  }
+  SparseVector out;
+  out.indices.reserve(counts.size());
+  for (const auto& [idx, value] : counts) out.indices.push_back(idx);
+  std::sort(out.indices.begin(), out.indices.end());
+  out.values.reserve(counts.size());
+  double norm_sq = 0;
+  for (uint32_t idx : out.indices) {
+    float v = counts[idx];
+    out.values.push_back(v);
+    norm_sq += static_cast<double>(v) * v;
+  }
+  // L2 normalization keeps long documents comparable to short ones.
+  if (norm_sq > 0) {
+    float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (float& v : out.values) v *= inv;
+  }
+  return out;
+}
+
+SparseVector HashingTf::TransformText(std::string_view text) const {
+  std::vector<std::string> tokens = text::TokenizeWhitespace(text);
+  for (std::string& t : tokens) t = AsciiToLower(t);
+  return Transform(tokens);
+}
+
+}  // namespace dj::quality

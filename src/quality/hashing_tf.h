@@ -1,0 +1,41 @@
+#ifndef DJ_QUALITY_HASHING_TF_H_
+#define DJ_QUALITY_HASHING_TF_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dj::quality {
+
+/// Sparse feature vector: parallel (index, value) arrays sorted by index.
+struct SparseVector {
+  std::vector<uint32_t> indices;
+  std::vector<float> values;
+
+  size_t nnz() const { return indices.size(); }
+};
+
+/// Hashing term-frequency featurizer, mirroring PySpark's HashingTF used by
+/// the paper's GPT-3 quality classifier (Appendix B.1): tokens are hashed
+/// into a fixed-dimensional bucket space and counted, then L2-normalized.
+class HashingTf {
+ public:
+  explicit HashingTf(uint32_t num_features = 1u << 18);
+
+  uint32_t num_features() const { return num_features_; }
+
+  /// Featurizes pre-tokenized input.
+  SparseVector Transform(const std::vector<std::string>& tokens) const;
+
+  /// Tokenizes with the "standard tokenizer" (whitespace split, lowercase)
+  /// and featurizes.
+  SparseVector TransformText(std::string_view text) const;
+
+ private:
+  uint32_t num_features_;
+};
+
+}  // namespace dj::quality
+
+#endif  // DJ_QUALITY_HASHING_TF_H_

@@ -1,0 +1,64 @@
+#include "quality/logistic_regression.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace dj::quality {
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+LogisticRegression::LogisticRegression() : LogisticRegression(Options()) {}
+
+LogisticRegression::LogisticRegression(Options options)
+    : options_(options), weights_(options_.num_features, 0.0f) {}
+
+double LogisticRegression::Margin(const SparseVector& x) const {
+  double z = bias_;
+  for (size_t i = 0; i < x.indices.size(); ++i) {
+    z += static_cast<double>(weights_[x.indices[i]]) * x.values[i];
+  }
+  return z;
+}
+
+void LogisticRegression::Train(const std::vector<SparseVector>& features,
+                               const std::vector<int>& labels) {
+  const size_t n = features.size();
+  if (n == 0 || labels.size() != n) return;
+  Rng rng(options_.seed);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  double lr = options_.learning_rate;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t idx : order) {
+      const SparseVector& x = features[idx];
+      double y = labels[idx] > 0 ? 1.0 : 0.0;
+      double p = Sigmoid(Margin(x));
+      double g = p - y;  // gradient of log-loss w.r.t. margin
+      bias_ -= lr * g;
+      for (size_t i = 0; i < x.indices.size(); ++i) {
+        float& w = weights_[x.indices[i]];
+        w -= static_cast<float>(
+            lr * (g * x.values[i] + options_.l2 * w));
+      }
+    }
+    lr *= 0.85;  // simple decay schedule
+  }
+  trained_ = true;
+}
+
+double LogisticRegression::Predict(const SparseVector& x) const {
+  return Sigmoid(Margin(x));
+}
+
+}  // namespace dj::quality

@@ -1,0 +1,64 @@
+#ifndef DJ_QUALITY_LOGISTIC_REGRESSION_H_
+#define DJ_QUALITY_LOGISTIC_REGRESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "quality/hashing_tf.h"
+
+namespace dj::quality {
+
+/// Binary logistic regression over sparse features, trained with mini-batch
+/// SGD + L2 regularization. Stands in for PySpark MLlib's classifier in the
+/// GPT-3 quality scorer reproduction (paper Appendix B.1).
+class LogisticRegression {
+ public:
+  struct Options {
+    uint32_t num_features = 1u << 18;
+    int epochs = 12;
+    double learning_rate = 0.5;
+    double l2 = 1e-6;
+    uint64_t seed = 42;
+  };
+
+  LogisticRegression();
+  explicit LogisticRegression(Options options);
+
+  /// Trains on (features, label) pairs; labels are 0/1. Examples are
+  /// shuffled per epoch with the seeded RNG, so training is deterministic.
+  void Train(const std::vector<SparseVector>& features,
+             const std::vector<int>& labels);
+
+  /// P(label=1 | x).
+  double Predict(const SparseVector& x) const;
+
+  /// Decision with 0.5 threshold.
+  int Classify(const SparseVector& x) const {
+    return Predict(x) >= 0.5 ? 1 : 0;
+  }
+
+  bool trained() const { return trained_; }
+  const std::vector<float>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+  /// Installs externally-restored parameters (checkpoint loading). The
+  /// weight vector must match num_features.
+  void SetParameters(std::vector<float> weights, double bias) {
+    weights_ = std::move(weights);
+    bias_ = bias;
+    trained_ = true;
+  }
+
+ private:
+  double Margin(const SparseVector& x) const;
+
+  Options options_;
+  std::vector<float> weights_;
+  double bias_ = 0;
+  bool trained_ = false;
+};
+
+}  // namespace dj::quality
+
+#endif  // DJ_QUALITY_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,229 @@
+#include "quality/quality_classifier.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace dj::quality {
+namespace {
+
+constexpr char kQcMagic[4] = {'D', 'J', 'Q', 'C'};
+
+void PutVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(std::string_view bytes, size_t* pos, uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*pos < bytes.size() && shift <= 63) {
+    uint8_t b = static_cast<uint8_t>(bytes[*pos]);
+    ++*pos;
+    v |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+void PutFloat(float f, std::string* out) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, 4);
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((bits >> (8 * i)) & 0xFF));
+  }
+}
+
+bool GetFloat(std::string_view bytes, size_t* pos, float* out) {
+  if (*pos + 4 > bytes.size()) return false;
+  uint32_t bits = 0;
+  for (int i = 0; i < 4; ++i) {
+    bits |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[*pos + i]))
+            << (8 * i);
+  }
+  *pos += 4;
+  std::memcpy(out, &bits, 4);
+  return true;
+}
+
+}  // namespace
+
+QualityClassifier::QualityClassifier() : QualityClassifier(Options()) {}
+
+QualityClassifier::QualityClassifier(Options options)
+    : options_(options),
+      featurizer_(options_.num_features),
+      model_(LogisticRegression::Options{options_.num_features,
+                                         options_.epochs,
+                                         /*learning_rate=*/0.5,
+                                         /*l2=*/1e-6, options_.seed}) {}
+
+void QualityClassifier::Train(const std::vector<std::string>& positives,
+                              const std::vector<std::string>& negatives) {
+  std::vector<SparseVector> features;
+  std::vector<int> labels;
+  features.reserve(positives.size() + negatives.size());
+  labels.reserve(positives.size() + negatives.size());
+  for (const std::string& doc : positives) {
+    features.push_back(featurizer_.TransformText(doc));
+    labels.push_back(1);
+  }
+  for (const std::string& doc : negatives) {
+    features.push_back(featurizer_.TransformText(doc));
+    labels.push_back(0);
+  }
+  model_.Train(features, labels);
+}
+
+double QualityClassifier::Score(std::string_view text) const {
+  return model_.Predict(featurizer_.TransformText(text));
+}
+
+bool QualityClassifier::Keep(double score, KeepMethod method,
+                             Rng* rng) const {
+  switch (method) {
+    case KeepMethod::kLabel:
+      return score > 0.5;
+    case KeepMethod::kPareto:
+      return score > 1.0 - rng->Pareto(options_.pareto_alpha);
+  }
+  return false;
+}
+
+ClassifierMetrics QualityClassifier::Evaluate(
+    const std::vector<std::string>& texts,
+    const std::vector<int>& labels) const {
+  ClassifierMetrics m;
+  m.num_eval = texts.size();
+  size_t tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < texts.size(); ++i) {
+    int pred = Score(texts[i]) > 0.5 ? 1 : 0;
+    int truth = labels[i] > 0 ? 1 : 0;
+    if (pred == 1 && truth == 1) ++tp;
+    if (pred == 1 && truth == 0) ++fp;
+    if (pred == 0 && truth == 1) ++fn;
+  }
+  m.precision = tp + fp == 0 ? 0 : static_cast<double>(tp) / (tp + fp);
+  m.recall = tp + fn == 0 ? 0 : static_cast<double>(tp) / (tp + fn);
+  m.f1 = m.precision + m.recall == 0
+             ? 0
+             : 2 * m.precision * m.recall / (m.precision + m.recall);
+  return m;
+}
+
+std::string QualityClassifier::Serialize() const {
+  std::string out;
+  out.append(kQcMagic, 4);
+  PutVarint(options_.num_features, &out);
+  PutVarint(static_cast<uint64_t>(options_.pareto_alpha * 1000.0 + 0.5),
+            &out);
+  PutFloat(static_cast<float>(model_.bias()), &out);
+  const std::vector<float>& weights = model_.weights();
+  uint64_t nonzero = 0;
+  for (float w : weights) {
+    if (w != 0.0f) ++nonzero;
+  }
+  PutVarint(nonzero, &out);
+  for (uint32_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] == 0.0f) continue;
+    PutVarint(i, &out);
+    PutFloat(weights[i], &out);
+  }
+  return out;
+}
+
+Result<QualityClassifier> QualityClassifier::Deserialize(
+    std::string_view bytes) {
+  if (bytes.size() < 4 || std::memcmp(bytes.data(), kQcMagic, 4) != 0) {
+    return Status::Corruption("not a DJQC classifier blob");
+  }
+  size_t pos = 4;
+  uint64_t num_features = 0, alpha_milli = 0;
+  float bias = 0;
+  if (!GetVarint(bytes, &pos, &num_features) ||
+      !GetVarint(bytes, &pos, &alpha_milli) ||
+      !GetFloat(bytes, &pos, &bias) || num_features == 0 ||
+      num_features > (1u << 26)) {
+    return Status::Corruption("truncated DJQC header");
+  }
+  Options options;
+  options.num_features = static_cast<uint32_t>(num_features);
+  options.pareto_alpha = static_cast<double>(alpha_milli) / 1000.0;
+  QualityClassifier classifier(options);
+  std::vector<float> weights(num_features, 0.0f);
+  uint64_t nonzero = 0;
+  if (!GetVarint(bytes, &pos, &nonzero)) {
+    return Status::Corruption("truncated DJQC weight count");
+  }
+  for (uint64_t i = 0; i < nonzero; ++i) {
+    uint64_t index = 0;
+    float value = 0;
+    if (!GetVarint(bytes, &pos, &index) || !GetFloat(bytes, &pos, &value) ||
+        index >= num_features) {
+      return Status::Corruption("truncated DJQC weights");
+    }
+    weights[index] = value;
+  }
+  if (pos != bytes.size()) {
+    return Status::Corruption("trailing bytes in DJQC blob");
+  }
+  classifier.model_.SetParameters(std::move(weights), bias);
+  return classifier;
+}
+
+const QualityClassifier& QualityClassifier::DefaultGpt3() {
+  static const QualityClassifier* instance = [] {
+    auto* c = new QualityClassifier();
+    // Embedded seed corpora: encyclopedic prose (positive) vs low-quality
+    // crawl artifacts (negative). The real classifier trains on
+    // Wikipedia/books vs CommonCrawl; the vocabulary contrast is the same.
+    std::vector<std::string> positives = {
+        "The history of mathematics deals with the origin of discoveries in "
+        "mathematics and the mathematical methods of the past.",
+        "Photosynthesis is the process by which green plants convert light "
+        "energy into chemical energy stored in glucose molecules.",
+        "The novel follows the life of a young woman as she navigates the "
+        "social conventions of nineteenth century England.",
+        "In computer science, a distributed system is a collection of "
+        "independent computers that appears to its users as a single "
+        "coherent system.",
+        "The committee published a detailed report describing the economic "
+        "effects of the policy on rural communities.",
+        "Astronomers observed the distant galaxy using a network of radio "
+        "telescopes located across three continents.",
+        "The treaty was signed in the autumn of that year, establishing a "
+        "framework for cooperation between the two nations.",
+        "Researchers demonstrated that the new vaccine produced a strong "
+        "immune response in clinical trials involving thousands of "
+        "participants.",
+    };
+    std::vector<std::string> negatives = {
+        "click here buy now best price viagra casino jackpot win big money "
+        "fast guaranteed",
+        "home | about | contact | sitemap | login | register | privacy "
+        "policy | terms",
+        "asdkjh qwelkj zxcmnb poiuyt lkjhgf mnbvcx qazwsx edcrfv tgbyhn",
+        "FREE FREE FREE limited offer act now !!! click click click "
+        "subscribe subscribe",
+        "lorem ipsum dolor sit amet consectetur adipiscing elit sed do "
+        "eiusmod tempor",
+        "404 not found error page does not exist redirect javascript "
+        "enabled cookies",
+        "hot singles in your area click to chat now adult content warning "
+        "enter exit",
+        "cheap replica watches discount pills weight loss fast miracle cure "
+        "work from home",
+    };
+    c->Train(positives, negatives);
+    return c;
+  }();
+  return *instance;
+}
+
+}  // namespace dj::quality

@@ -1,0 +1,79 @@
+#ifndef DJ_QUALITY_QUALITY_CLASSIFIER_H_
+#define DJ_QUALITY_QUALITY_CLASSIFIER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "quality/hashing_tf.h"
+#include "quality/logistic_regression.h"
+
+namespace dj::quality {
+
+/// Keep rules of the GPT-3 quality pipeline (paper Appendix B.1):
+///   kLabel:  keep when doc_score > 0.5
+///   kPareto: keep when doc_score > 1 - pareto(alpha=9) — the stochastic
+///            rule GPT-3 used to admit some low-scoring documents.
+enum class KeepMethod { kLabel, kPareto };
+
+/// Evaluation metrics for a trained classifier (paper Table 4).
+struct ClassifierMetrics {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+  size_t num_eval = 0;
+};
+
+/// Reproduction of the GPT-3 quality classifier: standard tokenizer +
+/// HashingTF features + binary logistic regression (paper Sec. 6.2 and
+/// Appendix B.1). Train on positive (wiki/books-like) vs negative
+/// (crawl-like) corpora, then score arbitrary text in [0,1].
+class QualityClassifier {
+ public:
+  struct Options {
+    uint32_t num_features = 1u << 18;
+    int epochs = 12;
+    double pareto_alpha = 9.0;
+    uint64_t seed = 42;
+  };
+
+  QualityClassifier();
+  explicit QualityClassifier(Options options);
+
+  /// Trains on labeled corpora (1 = high quality / positive).
+  void Train(const std::vector<std::string>& positives,
+             const std::vector<std::string>& negatives);
+
+  bool trained() const { return model_.trained(); }
+
+  /// Quality score in [0,1] (probability of the positive class).
+  double Score(std::string_view text) const;
+
+  /// Applies a keep rule to a score. The pareto rule consumes randomness
+  /// from `rng` (pass a seeded Rng for reproducibility).
+  bool Keep(double score, KeepMethod method, Rng* rng) const;
+
+  /// Precision/recall/F1 on a labeled evaluation set.
+  ClassifierMetrics Evaluate(const std::vector<std::string>& texts,
+                             const std::vector<int>& labels) const;
+
+  /// Shared classifier trained on embedded seed corpora; default auxiliary
+  /// model for the quality_score filter.
+  static const QualityClassifier& DefaultGpt3();
+
+  /// Binary checkpoint codec (magic "DJQC"): sparse non-zero weights +
+  /// bias, so trained classifiers can ship with data recipes.
+  std::string Serialize() const;
+  static Result<QualityClassifier> Deserialize(std::string_view bytes);
+
+ private:
+  Options options_;
+  HashingTf featurizer_;
+  LogisticRegression model_;
+};
+
+}  // namespace dj::quality
+
+#endif  // DJ_QUALITY_QUALITY_CLASSIFIER_H_

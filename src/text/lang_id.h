@@ -1,0 +1,54 @@
+#ifndef DJ_TEXT_LANG_ID_H_
+#define DJ_TEXT_LANG_ID_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dj::text {
+
+/// Result of language identification.
+struct LangScore {
+  std::string lang;    ///< ISO-ish code: "en", "zh", "de", "fr", "es".
+  double confidence;   ///< Softmax probability across known languages.
+};
+
+/// Character-trigram naive-Bayes language identifier with built-in profiles
+/// (en/zh/de/fr/es) trained from embedded seed text, plus a CJK-ratio prior
+/// that makes zh detection robust on short strings. Stands in for the
+/// fasttext-based model of the language_id_score filter.
+class LanguageIdentifier {
+ public:
+  /// Shared instance with built-in profiles.
+  static const LanguageIdentifier& Default();
+
+  LanguageIdentifier();
+
+  /// Adds or extends a language profile from sample text.
+  void AddProfile(const std::string& lang, std::string_view seed_text);
+
+  /// Best language and confidence for `s`. Empty input scores ("und", 0).
+  LangScore Identify(std::string_view s) const;
+
+  /// Confidence that `s` is in language `lang` (0 when unknown lang).
+  double Score(std::string_view s, std::string_view lang) const;
+
+  std::vector<std::string> Languages() const;
+
+ private:
+  struct Profile {
+    std::unordered_map<uint64_t, double> log_prob;  // trigram hash -> logp
+    double fallback_log_prob = -12.0;
+    double cjk_expectation = 0.0;  // expected CJK codepoint ratio
+  };
+
+  std::vector<std::pair<std::string, Profile>> profiles_;
+
+  std::vector<std::pair<std::string, double>> ScoresFor(
+      std::string_view s) const;
+};
+
+}  // namespace dj::text
+
+#endif  // DJ_TEXT_LANG_ID_H_

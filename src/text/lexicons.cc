@@ -1,0 +1,65 @@
+#include "text/lexicons.h"
+
+namespace dj::text {
+
+Lexicon::Lexicon(std::initializer_list<std::string_view> words) {
+  for (std::string_view w : words) words_.emplace(w);
+}
+
+bool Lexicon::Contains(std::string_view word) const {
+  return words_.find(std::string(word)) != words_.end();
+}
+
+void Lexicon::Add(std::string word) { words_.insert(std::move(word)); }
+
+const Lexicon& Lexicon::EnglishStopwords() {
+  static const Lexicon& lex = *new Lexicon{
+      "a",     "about",  "above",  "after", "again",   "against", "all",
+      "am",    "an",     "and",    "any",   "are",     "as",      "at",
+      "be",    "because", "been",  "before", "being",  "below",   "between",
+      "both",  "but",    "by",     "can",   "cannot",  "could",   "did",
+      "do",    "does",   "doing",  "down",  "during",  "each",    "few",
+      "for",   "from",   "further", "had",  "has",     "have",    "having",
+      "he",    "her",    "here",   "hers",  "herself", "him",     "himself",
+      "his",   "how",    "i",      "if",    "in",      "into",    "is",
+      "it",    "its",    "itself", "just",  "me",      "more",    "most",
+      "my",    "myself", "no",     "nor",   "not",     "now",     "of",
+      "off",   "on",     "once",   "only",  "or",      "other",   "our",
+      "ours",  "ourselves", "out", "over",  "own",     "same",    "she",
+      "should", "so",    "some",   "such",  "than",    "that",    "the",
+      "their", "theirs", "them",   "themselves", "then", "there", "these",
+      "they",  "this",   "those",  "through", "to",    "too",     "under",
+      "until", "up",     "very",   "was",   "we",      "were",    "what",
+      "when",  "where",  "which",  "while", "who",     "whom",    "why",
+      "will",  "with",   "would",  "you",   "your",    "yours",   "yourself",
+      "yourselves"};
+  return lex;
+}
+
+const Lexicon& Lexicon::FlaggedWords() {
+  // Mild placeholder + spam vocabulary; the real deployments plug in their
+  // own lists via Lexicon::Add or the filter's word_list parameter.
+  static const Lexicon& lex = *new Lexicon{
+      "viagra",    "casino",     "jackpot",   "lottery",   "xxx",
+      "porn",      "gambling",   "betting",   "pills",     "cialis",
+      "clickbait", "free-money", "get-rich",  "hot-singles", "adult",
+      "nsfw",      "escort",     "crypto-pump", "penny-stock", "miracle-cure",
+      "weight-loss-fast", "work-from-home-scam", "darkweb", "counterfeit",
+      "replica-watches"};
+  return lex;
+}
+
+const Lexicon& Lexicon::CommonVerbs() {
+  static const Lexicon& lex = *new Lexicon{
+      "write",  "describe", "explain",  "list",     "create",  "generate",
+      "make",   "give",     "tell",     "show",     "find",    "identify",
+      "compare", "summarize", "translate", "classify", "answer", "solve",
+      "compute", "calculate", "design",  "analyze",  "suggest", "provide",
+      "name",   "define",   "discuss",  "evaluate", "rewrite", "edit",
+      "convert", "predict",  "choose",   "rank",     "extract", "detect",
+      "is",     "are",      "was",      "be",       "have",    "do",
+      "use",    "read",     "run",      "build",    "plan",    "improve"};
+  return lex;
+}
+
+}  // namespace dj::text

@@ -1,0 +1,39 @@
+#ifndef DJ_TEXT_LEXICONS_H_
+#define DJ_TEXT_LEXICONS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace dj::text {
+
+/// Word lists backing the stopwords / flagged-words filters. The upstream
+/// system downloads these from a cloud drive; here compact built-in lists
+/// are embedded and callers may extend them from files.
+class Lexicon {
+ public:
+  /// Built-in English stopword list (~130 function words).
+  static const Lexicon& EnglishStopwords();
+
+  /// Built-in flagged-word list (profanity/spam markers used by the
+  /// flagged_words filter; intentionally mild placeholder terms plus common
+  /// spam vocabulary so benches exercise the code path).
+  static const Lexicon& FlaggedWords();
+
+  /// Small verb lexicon for the text_action filter (root-verb detection).
+  static const Lexicon& CommonVerbs();
+
+  Lexicon() = default;
+  explicit Lexicon(std::initializer_list<std::string_view> words);
+
+  bool Contains(std::string_view word) const;
+  void Add(std::string word);
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::unordered_set<std::string> words_;
+};
+
+}  // namespace dj::text
+
+#endif  // DJ_TEXT_LEXICONS_H_

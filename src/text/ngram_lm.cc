@@ -1,0 +1,260 @@
+#include "text/ngram_lm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <cmath>
+
+#include "common/hash.h"
+#include "text/tokenizer.h"
+
+namespace dj::text {
+namespace {
+
+constexpr uint64_t kBosHash = 0xb05eb05eb05eb05eULL;
+
+uint64_t WordHash(std::string_view w) { return Fnv1a64(w); }
+
+/// Combined hash of an (order-1)-word context ending right before position i.
+uint64_t ContextHash(const std::vector<uint64_t>& hashes, size_t i,
+                     int context_len) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ static_cast<uint64_t>(context_len);
+  for (int k = context_len; k >= 1; --k) {
+    uint64_t wh = (i >= static_cast<size_t>(k)) ? hashes[i - k] : kBosHash;
+    h = HashCombine(h, wh);
+  }
+  return h;
+}
+
+}  // namespace
+
+NgramLm::NgramLm() : NgramLm(Options()) {}
+
+NgramLm::NgramLm(Options options) : options_(options) {
+  if (options_.order < 1) options_.order = 1;
+  if (options_.order > 5) options_.order = 5;
+  ngram_counts_.resize(options_.order);
+  context_counts_.resize(options_.order);
+}
+
+void NgramLm::AddDocument(std::string_view text) {
+  AddTokens(TokenizeWordsLower(text));
+}
+
+void NgramLm::AddTokens(const std::vector<std::string>& words) {
+  if (words.empty()) return;
+  std::vector<uint64_t> hashes(words.size());
+  for (size_t i = 0; i < words.size(); ++i) hashes[i] = WordHash(words[i]);
+  total_tokens_ += words.size();
+  for (size_t i = 0; i < hashes.size(); ++i) {
+    unigram_counts_[hashes[i]] += 1;
+    for (int order = 2; order <= options_.order; ++order) {
+      uint64_t ctx = ContextHash(hashes, i, order - 1);
+      context_counts_[order - 1][ctx] += 1;
+      ngram_counts_[order - 1][HashCombine(ctx, hashes[i])] += 1;
+    }
+  }
+  finalized_ = false;
+}
+
+void NgramLm::Finalize() { finalized_ = true; }
+
+double NgramLm::Log10Prob(const std::vector<uint64_t>& context_hashes,
+                          uint64_t word_hash) const {
+  // An untrained model knows nothing: everything is at the unknown floor.
+  if (total_tokens_ == 0) return options_.unk_log10_prob;
+  // Base case: smoothed unigram.
+  double p;
+  {
+    auto it = unigram_counts_.find(word_hash);
+    double c = it == unigram_counts_.end() ? 0.0
+                                           : static_cast<double>(it->second);
+    double v = static_cast<double>(unigram_counts_.size()) + 1.0;
+    double denom = static_cast<double>(total_tokens_) + v;
+    p = (c + 1.0) / std::max(denom, 1.0);
+  }
+  // Interpolate higher orders: p_n = lambda * ml_n + (1-lambda) * p_{n-1}.
+  size_t n_ctx = context_hashes.size();
+  for (int order = 2; order <= options_.order; ++order) {
+    int context_len = order - 1;
+    if (n_ctx < static_cast<size_t>(context_len)) break;
+    uint64_t ctx = 0x9e3779b97f4a7c15ULL ^ static_cast<uint64_t>(context_len);
+    for (int k = context_len; k >= 1; --k) {
+      ctx = HashCombine(ctx, context_hashes[n_ctx - k]);
+    }
+    auto cit = context_counts_[order - 1].find(ctx);
+    if (cit == context_counts_[order - 1].end() || cit->second == 0) {
+      // Unseen context: interpolation passes the lower-order estimate up.
+      continue;
+    }
+    auto nit = ngram_counts_[order - 1].find(HashCombine(ctx, word_hash));
+    double ml = nit == ngram_counts_[order - 1].end()
+                    ? 0.0
+                    : static_cast<double>(nit->second) /
+                          static_cast<double>(cit->second);
+    p = options_.lambda * ml + (1.0 - options_.lambda) * p;
+  }
+  double log10p = std::log10(std::max(p, 1e-12));
+  return std::max(log10p, options_.unk_log10_prob);
+}
+
+double NgramLm::AvgLog10Prob(std::string_view text) const {
+  std::vector<std::string> words = TokenizeWordsLower(text);
+  if (words.empty()) return options_.unk_log10_prob;
+  std::vector<uint64_t> hashes(words.size());
+  for (size_t i = 0; i < words.size(); ++i) hashes[i] = WordHash(words[i]);
+  double total = 0;
+  std::vector<uint64_t> context;
+  context.reserve(options_.order);
+  for (size_t i = 0; i < hashes.size(); ++i) {
+    // Build the context slice ending at i (BOS-padded implicitly by using
+    // fewer context words at document start).
+    size_t ctx_begin = i >= static_cast<size_t>(options_.order - 1)
+                           ? i - (options_.order - 1)
+                           : 0;
+    context.assign(hashes.begin() + ctx_begin, hashes.begin() + i);
+    total += Log10Prob(context, hashes[i]);
+  }
+  return total / static_cast<double>(hashes.size());
+}
+
+double NgramLm::Perplexity(std::string_view text) const {
+  std::vector<std::string> words = TokenizeWordsLower(text);
+  if (words.empty()) return 1e6;
+  return std::pow(10.0, -AvgLog10Prob(text));
+}
+
+namespace {
+
+constexpr char kLmMagic[4] = {'D', 'J', 'L', 'M'};
+
+void PutVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(std::string_view bytes, size_t* pos, uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*pos < bytes.size() && shift <= 63) {
+    uint8_t b = static_cast<uint8_t>(bytes[*pos]);
+    ++*pos;
+    v |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+void PutCountMap(const std::unordered_map<uint64_t, uint32_t>& map,
+                 std::string* out) {
+  PutVarint(map.size(), out);
+  for (const auto& [key, count] : map) {
+    PutVarint(key, out);
+    PutVarint(count, out);
+  }
+}
+
+bool GetCountMap(std::string_view bytes, size_t* pos,
+                 std::unordered_map<uint64_t, uint32_t>* map) {
+  uint64_t n = 0;
+  if (!GetVarint(bytes, pos, &n)) return false;
+  map->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t key = 0, count = 0;
+    if (!GetVarint(bytes, pos, &key) || !GetVarint(bytes, pos, &count)) {
+      return false;
+    }
+    (*map)[key] = static_cast<uint32_t>(count);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string NgramLm::Serialize() const {
+  std::string out;
+  out.append(kLmMagic, 4);
+  PutVarint(static_cast<uint64_t>(options_.order), &out);
+  // Interpolation weight with three decimals of fidelity.
+  PutVarint(static_cast<uint64_t>(options_.lambda * 1000.0 + 0.5), &out);
+  PutVarint(static_cast<uint64_t>(-options_.unk_log10_prob * 1000.0 + 0.5),
+            &out);
+  PutVarint(total_tokens_, &out);
+  PutCountMap(unigram_counts_, &out);
+  for (int order = 2; order <= options_.order; ++order) {
+    PutCountMap(context_counts_[order - 1], &out);
+    PutCountMap(ngram_counts_[order - 1], &out);
+  }
+  return out;
+}
+
+Result<NgramLm> NgramLm::Deserialize(std::string_view bytes) {
+  if (bytes.size() < 4 || std::memcmp(bytes.data(), kLmMagic, 4) != 0) {
+    return Status::Corruption("not a DJLM model blob");
+  }
+  size_t pos = 4;
+  uint64_t order = 0, lambda_milli = 0, unk_milli = 0, total = 0;
+  if (!GetVarint(bytes, &pos, &order) ||
+      !GetVarint(bytes, &pos, &lambda_milli) ||
+      !GetVarint(bytes, &pos, &unk_milli) ||
+      !GetVarint(bytes, &pos, &total) || order < 1 || order > 5) {
+    return Status::Corruption("truncated DJLM header");
+  }
+  Options options;
+  options.order = static_cast<int>(order);
+  options.lambda = static_cast<double>(lambda_milli) / 1000.0;
+  options.unk_log10_prob = -static_cast<double>(unk_milli) / 1000.0;
+  NgramLm lm(options);
+  lm.total_tokens_ = total;
+  if (!GetCountMap(bytes, &pos, &lm.unigram_counts_)) {
+    return Status::Corruption("truncated DJLM unigrams");
+  }
+  for (int o = 2; o <= options.order; ++o) {
+    if (!GetCountMap(bytes, &pos, &lm.context_counts_[o - 1]) ||
+        !GetCountMap(bytes, &pos, &lm.ngram_counts_[o - 1])) {
+      return Status::Corruption("truncated DJLM n-gram tables");
+    }
+  }
+  if (pos != bytes.size()) {
+    return Status::Corruption("trailing bytes in DJLM blob");
+  }
+  lm.Finalize();
+  return lm;
+}
+
+const NgramLm& NgramLm::DefaultEnglish() {
+  static const NgramLm* lm = [] {
+    auto* model = new NgramLm();
+    // Seed corpus: plain English covering frequent constructions; enough for
+    // the perplexity filter to separate fluent text from noise.
+    static constexpr std::string_view kSeed[] = {
+        "the quick brown fox jumps over the lazy dog",
+        "this is a simple sentence about everyday life and common things",
+        "we describe how the system works and why the design matters",
+        "language models are trained on large collections of text data",
+        "the results of the experiment were interesting and easy to explain",
+        "please read the following instructions carefully before you begin",
+        "she said that he would come to the meeting tomorrow with a report",
+        "people around the world use computers to work and to communicate",
+        "the weather today is nice and the children are playing outside",
+        "a good data processing pipeline removes noise and keeps quality",
+        "in this paper we present a new method for cleaning web documents",
+        "the model learns to predict the next word given the previous words",
+        "many open source projects release both code and documentation",
+        "it is important to measure quality diversity and volume of data",
+        "the team collected a large corpus from books articles and websites",
+    };
+    for (std::string_view doc : kSeed) model->AddDocument(doc);
+    model->Finalize();
+    return model;
+  }();
+  return *lm;
+}
+
+}  // namespace dj::text

@@ -1,0 +1,82 @@
+#ifndef DJ_TEXT_NGRAM_LM_H_
+#define DJ_TEXT_NGRAM_LM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dj::text {
+
+/// Word-level n-gram language model with Jelinek–Mercer interpolation.
+/// Counts are stored hash-keyed (context hash x word hash), so memory stays
+/// bounded by distinct n-grams rather than vocabulary strings.
+///
+/// Two roles in this repo:
+///  1. the auxiliary model behind the `perplexity` filter (paper: KenLM),
+///  2. the trainable "reference model" in src/eval — its held-out perplexity
+///     acts as the LLM-benchmark proxy. It is deliberately sensitive to the
+///     noise the OPs remove (duplicates, boilerplate, garbage tokens).
+class NgramLm {
+ public:
+  struct Options {
+    int order = 3;                ///< Maximum n-gram order (1..5).
+    double lambda = 0.75;         ///< Interpolation weight for higher orders.
+    double unk_log10_prob = -7.0; ///< Log10 floor for unseen unigrams.
+  };
+
+  NgramLm();
+  explicit NgramLm(Options options);
+
+  /// Accumulates counts from one document (tokenized internally, lowercase).
+  void AddDocument(std::string_view text);
+
+  /// Accumulates counts from pre-tokenized words.
+  void AddTokens(const std::vector<std::string>& words);
+
+  /// Finalizes probability tables after all AddDocument calls.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+  uint64_t total_tokens() const { return total_tokens_; }
+  uint64_t vocab_size() const { return unigram_counts_.size(); }
+
+  /// Log10 probability of `word` given the preceding context words.
+  double Log10Prob(const std::vector<uint64_t>& context_hashes,
+                   uint64_t word_hash) const;
+
+  /// Corpus-convention perplexity of `text`: 10^(-avg log10 prob). Empty
+  /// text returns a large sentinel (1e6).
+  double Perplexity(std::string_view text) const;
+
+  /// Average log10 probability per token (higher is better; used as the
+  /// evaluation score proxy).
+  double AvgLog10Prob(std::string_view text) const;
+
+  /// Builds a small default English LM from embedded seed text; shared
+  /// instance for the perplexity filter's default auxiliary model.
+  static const NgramLm& DefaultEnglish();
+
+  /// Binary checkpoint codec (magic "DJLM"): serializes counts and options
+  /// so trained reference models can be stored and reloaded (paper Sec. 5.3
+  /// "Reference Models ... model checkpoints").
+  std::string Serialize() const;
+  static Result<NgramLm> Deserialize(std::string_view bytes);
+
+ private:
+  Options options_;
+  bool finalized_ = false;
+  uint64_t total_tokens_ = 0;
+  // Per-order n-gram counts: key = combined context+word hash.
+  std::vector<std::unordered_map<uint64_t, uint32_t>> ngram_counts_;
+  // Per-order context counts: key = context hash.
+  std::vector<std::unordered_map<uint64_t, uint32_t>> context_counts_;
+  std::unordered_map<uint64_t, uint32_t> unigram_counts_;
+};
+
+}  // namespace dj::text
+
+#endif  // DJ_TEXT_NGRAM_LM_H_

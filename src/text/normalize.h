@@ -1,0 +1,30 @@
+#ifndef DJ_TEXT_NORMALIZE_H_
+#define DJ_TEXT_NORMALIZE_H_
+
+#include <string>
+#include <string_view>
+
+namespace dj::text {
+
+/// Collapses runs of spaces/tabs into one space, trims line ends, collapses
+/// 3+ consecutive newlines into two, trims leading/trailing whitespace.
+std::string NormalizeWhitespace(std::string_view s);
+
+/// Maps common unicode punctuation to ASCII equivalents: curly quotes to
+/// straight quotes, en/em dashes to '-', ellipsis to "...", fullwidth ASCII
+/// to halfwidth, NBSP to space.
+std::string NormalizePunctuation(std::string_view s);
+
+/// Repairs mojibake-style artifacts ("messy code rectification"): drops
+/// replacement chars and control chars (keeping \n and \t), fixes the common
+/// UTF-8-read-as-Latin-1 sequences for quotes and dashes, strips BOM and
+/// zero-width characters.
+std::string FixUnicode(std::string_view s);
+
+/// Removes every occurrence of the characters in `chars` (a UTF-8 string
+/// treated as a set of codepoints).
+std::string RemoveChars(std::string_view s, std::string_view chars);
+
+}  // namespace dj::text
+
+#endif  // DJ_TEXT_NORMALIZE_H_

@@ -1,0 +1,97 @@
+#include "text/sentence.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "text/utf8.h"
+
+namespace dj::text {
+namespace {
+
+bool IsAbbreviation(std::string_view text, size_t dot_pos) {
+  // Walk back to the token before the dot.
+  size_t start = dot_pos;
+  while (start > 0 &&
+         (std::isalpha(static_cast<unsigned char>(text[start - 1])) ||
+          text[start - 1] == '.')) {
+    --start;
+  }
+  std::string_view token = text.substr(start, dot_pos - start);
+  static constexpr std::string_view kAbbrev[] = {
+      "Dr",  "Mr",  "Mrs", "Ms",  "Prof", "Sr",   "Jr",  "St",  "vs",
+      "etc", "e.g", "i.e", "Fig", "fig",  "Eq",   "eq",  "al",  "cf",
+      "No",  "Vol", "pp",  "Ch",  "Sec",  "approx"};
+  for (std::string_view a : kAbbrev) {
+    if (token == a) return true;
+  }
+  // Single letters ("A.", initials) are abbreviations too.
+  return token.size() == 1 &&
+         std::isalpha(static_cast<unsigned char>(token[0]));
+}
+
+}  // namespace
+
+std::vector<std::string> SplitSentences(std::string_view s) {
+  std::vector<std::string> out;
+  std::string current;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t start = pos;
+    uint32_t cp;
+    DecodeUtf8(s, &pos, &cp);
+    std::string_view piece = s.substr(start, pos - start);
+
+    bool boundary = false;
+    if (cp == 0x3002 || cp == 0xFF01 || cp == 0xFF1F) {  // 。！？
+      boundary = true;
+    } else if (cp == '!' || cp == '?') {
+      boundary = true;
+    } else if (cp == '.') {
+      // Not a boundary inside decimals ("3.14") or known abbreviations.
+      bool prev_digit =
+          start > 0 && std::isdigit(static_cast<unsigned char>(s[start - 1]));
+      bool next_digit = pos < s.size() &&
+                        std::isdigit(static_cast<unsigned char>(s[pos]));
+      if (prev_digit && next_digit) {
+        boundary = false;
+      } else if (IsAbbreviation(s, start)) {
+        boundary = false;
+      } else {
+        boundary = true;
+      }
+    } else if (cp == '\n') {
+      // Paragraph break ends a sentence even without punctuation.
+      if (pos < s.size() && s[pos] == '\n') boundary = true;
+    }
+
+    current.append(piece);
+    if (boundary) {
+      std::string_view trimmed = StripAsciiWhitespace(current);
+      if (!trimmed.empty()) out.emplace_back(trimmed);
+      current.clear();
+    }
+  }
+  std::string_view trimmed = StripAsciiWhitespace(current);
+  if (!trimmed.empty()) out.emplace_back(trimmed);
+  return out;
+}
+
+std::vector<std::string> SplitParagraphs(std::string_view s) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const std::string& line : SplitLines(s)) {
+    if (StripAsciiWhitespace(line).empty()) {
+      std::string_view trimmed = StripAsciiWhitespace(current);
+      if (!trimmed.empty()) out.emplace_back(trimmed);
+      current.clear();
+    } else {
+      if (!current.empty()) current.push_back('\n');
+      current += line;
+    }
+  }
+  std::string_view trimmed = StripAsciiWhitespace(current);
+  if (!trimmed.empty()) out.emplace_back(trimmed);
+  return out;
+}
+
+}  // namespace dj::text

@@ -1,0 +1,21 @@
+#ifndef DJ_TEXT_SENTENCE_H_
+#define DJ_TEXT_SENTENCE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dj::text {
+
+/// Rule-based sentence splitter: breaks on ./!/? and CJK 。！？ followed by
+/// whitespace/uppercase/end, with guards for common abbreviations ("Dr.",
+/// "e.g.", "Fig.") and decimal numbers. Newlines that end a paragraph also
+/// split. Pieces are trimmed; empty pieces dropped.
+std::vector<std::string> SplitSentences(std::string_view s);
+
+/// Splits on blank lines into paragraphs (trimmed, empties dropped).
+std::vector<std::string> SplitParagraphs(std::string_view s);
+
+}  // namespace dj::text
+
+#endif  // DJ_TEXT_SENTENCE_H_

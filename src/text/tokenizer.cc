@@ -1,0 +1,106 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "text/utf8.h"
+
+namespace dj::text {
+namespace {
+
+bool IsWordCp(uint32_t cp) {
+  if (IsAsciiAlnum(cp) || cp == '\'') return true;
+  // Latin-1 and Latin Extended letters.
+  if (cp >= 0x00C0 && cp <= 0x024F && cp != 0x00D7 && cp != 0x00F7) {
+    return true;
+  }
+  // Greek / Cyrillic letters.
+  if (cp >= 0x0370 && cp <= 0x04FF) return true;
+  return false;
+}
+
+template <typename Emit>
+void ForEachWord(std::string_view s, Emit&& emit) {
+  size_t pos = 0;
+  std::string current;
+  while (pos < s.size()) {
+    size_t start = pos;
+    uint32_t cp;
+    DecodeUtf8(s, &pos, &cp);
+    if (IsCjk(cp)) {
+      if (!current.empty()) {
+        emit(std::move(current));
+        current.clear();
+      }
+      emit(std::string(s.substr(start, pos - start)));
+    } else if (IsWordCp(cp)) {
+      current.append(s.substr(start, pos - start));
+    } else {
+      if (!current.empty()) {
+        emit(std::move(current));
+        current.clear();
+      }
+    }
+  }
+  if (!current.empty()) emit(std::move(current));
+}
+
+}  // namespace
+
+std::vector<std::string> TokenizeWords(std::string_view s) {
+  std::vector<std::string> out;
+  ForEachWord(s, [&](std::string w) { out.push_back(std::move(w)); });
+  return out;
+}
+
+std::vector<std::string> TokenizeWordsLower(std::string_view s) {
+  std::vector<std::string> out = TokenizeWords(s);
+  for (std::string& w : out) {
+    for (char& c : w) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> TokenizeWhitespace(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+size_t CountWords(std::string_view s) {
+  size_t count = 0;
+  ForEachWord(s, [&](std::string) { ++count; });
+  return count;
+}
+
+size_t ApproxLlmTokenCount(std::string_view s) {
+  // Words plus punctuation marks; long words contribute extra subword
+  // pieces (~1 per 6 chars beyond the first 6), approximating BPE growth.
+  size_t tokens = 0;
+  size_t pos = 0;
+  size_t word_len = 0;
+  while (pos < s.size()) {
+    uint32_t cp;
+    DecodeUtf8(s, &pos, &cp);
+    if (IsWordCp(cp)) {
+      ++word_len;
+    } else {
+      if (word_len > 0) {
+        tokens += 1 + (word_len > 6 ? (word_len - 1) / 6 : 0);
+        word_len = 0;
+      }
+      if (IsCjk(cp) || IsPunctuationCp(cp)) ++tokens;
+    }
+  }
+  if (word_len > 0) tokens += 1 + (word_len > 6 ? (word_len - 1) / 6 : 0);
+  return tokens;
+}
+
+}  // namespace dj::text

@@ -1,0 +1,107 @@
+#ifndef DJ_WORKLOAD_GENERATOR_H_
+#define DJ_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "data/dataset.h"
+
+namespace dj::workload {
+
+/// Corpus styles mirroring the sources the paper processes. Each style has
+/// the failure modes the corresponding real corpus has — duplicated
+/// boilerplate on web pages, LaTeX preambles and bibliographies on arXiv,
+/// spam on raw crawls — so recipes and benches exercise the same OPs.
+enum class Style {
+  kWiki,           ///< clean encyclopedic prose (positive class for quality)
+  kBooks,          ///< long-form narrative text
+  kArxiv,          ///< LaTeX papers: preamble, sections, tables, bibliography
+  kStackExchange,  ///< Q&A threads with inline code and quotes
+  kCode,           ///< source files with comments and license headers
+  kWeb,            ///< mixed-quality web pages (some HTML remnants)
+  kCrawl,          ///< raw crawl: spam, boilerplate, duplication, mojibake
+  kChinese,        ///< Chinese prose
+};
+
+const char* StyleName(Style style);
+
+/// Generation knobs. Rates are per-document probabilities.
+struct CorpusOptions {
+  Style style = Style::kWeb;
+  size_t num_docs = 1000;
+  size_t mean_words = 180;      ///< target words per document
+  uint64_t seed = 7;
+
+  double exact_dup_rate = 0.0;  ///< emit an exact copy of a previous doc
+  double near_dup_rate = 0.0;   ///< emit a lightly perturbed copy
+  double boilerplate_rate = 0.0;///< inject the shared nav/footer paragraph
+  double spam_rate = 0.0;       ///< inject flagged-word spam lines
+  double noise_rate = 0.0;      ///< inject mojibake/control chars/long tokens
+  double foreign_rate = 0.0;    ///< emit a non-English (German-like) doc
+  double short_doc_rate = 0.0;  ///< emit a tiny (<10 word) doc
+};
+
+/// Deterministic synthetic corpus generator.
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(CorpusOptions options);
+
+  /// Generates the full dataset: "text" plus "meta.source" (style name),
+  /// "meta.doc_id", and for kCode "meta.language"/"meta.stars".
+  data::Dataset Generate();
+
+  /// Generates one clean document of the configured style.
+  std::string GenerateDocument(Rng* rng) const;
+
+  /// One grammatical English sentence from the word banks.
+  static std::string CleanSentence(Rng* rng);
+
+  /// A paragraph of `sentences` clean sentences.
+  static std::string CleanParagraph(Rng* rng, size_t sentences);
+
+  /// A spammy line dominated by flagged words.
+  static std::string SpamLine(Rng* rng);
+
+  /// The shared boilerplate paragraph (identical across all docs).
+  static std::string BoilerplateParagraph();
+
+ private:
+  std::string DecorateWithNoise(std::string doc, Rng* rng) const;
+
+  CorpusOptions options_;
+};
+
+/// Convenience: generates a corpus with `approx_tokens` total word tokens by
+/// scaling num_docs (used by the pre-training benches where the x-axis is
+/// the token budget).
+data::Dataset GenerateCorpusWithTokens(Style style, uint64_t approx_tokens,
+                                       uint64_t seed,
+                                       const CorpusOptions* base = nullptr);
+
+/// Post-tuning instruction data (Alpaca-style triplets). The sample text
+/// field is an object: text.instruction / text.input / text.output; meta
+/// carries dataset/usage/lang tags like the Alpaca-CoT collection.
+struct InstructionOptions {
+  size_t num_samples = 1000;
+  uint64_t seed = 11;
+  std::string dataset_name = "synthetic-sft";
+  std::string usage = "SFT";      ///< "SFT" | "IFT" | "Preference" | "MRD"
+  std::string lang = "EN";
+  double low_quality_rate = 0.0;  ///< truncated/irrelevant responses
+  double dup_rate = 0.0;          ///< duplicated instructions
+};
+
+data::Dataset GenerateInstructionDataset(const InstructionOptions& options);
+
+/// One synthetic source file. High-quality code carries license headers,
+/// comments, and varied identifiers; low-quality code is minified and
+/// repetitive — the positive/negative split of the Code quality classifier
+/// (paper Table 6: starred vs random TheStack samples).
+std::string SyntheticCodeDocument(Rng* rng, size_t mean_words,
+                                  bool high_quality);
+
+}  // namespace dj::workload
+
+#endif  // DJ_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,27 @@
+#ifndef DJ_YAML_YAML_H_
+#define DJ_YAML_YAML_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "json/value.h"
+
+namespace dj::yaml {
+
+/// Parses a pragmatic YAML subset into a JSON value. Supported:
+///   - nested block mappings (`key: value`, indentation-scoped)
+///   - block sequences (`- item`, including `- key: value` inline mappings)
+///   - flow scalars: quoted strings, ints, doubles, true/false/null
+///   - inline flow collections (`[a, b]`, `{k: v}`) — delegated to the JSON
+///     parser with light rewriting
+///   - comments (`# ...`) and blank lines
+///
+/// Not supported (rejected with Corruption): anchors/aliases, multi-document
+/// streams, block scalars (| and >), tabs for indentation. This covers every
+/// recipe shape Data-Juicer uses (lists of single-key OP maps with scalar
+/// parameters).
+Result<json::Value> Parse(std::string_view text);
+
+}  // namespace dj::yaml
+
+#endif  // DJ_YAML_YAML_H_

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "baseline/naive_pipeline.h"
+#include "core/executor.h"
+#include "ops/registry.h"
+#include "workload/generator.h"
+
+namespace dj::baseline {
+namespace {
+
+std::vector<std::unique_ptr<ops::Op>> Pipeline() {
+  core::Recipe recipe =
+      core::Recipe::FromString(R"(
+process:
+  - whitespace_normalization_mapper:
+  - clean_links_mapper:
+  - text_length_filter:
+      min: 20
+  - word_num_filter:
+      min: 5
+  - document_exact_deduplicator:
+)")
+          .value();
+  return core::BuildOps(recipe, ops::OpRegistry::Global()).value();
+}
+
+data::Dataset Corpus() {
+  workload::CorpusOptions options;
+  options.style = workload::Style::kWeb;
+  options.num_docs = 80;
+  options.exact_dup_rate = 0.2;
+  options.short_doc_rate = 0.1;
+  options.seed = 55;
+  return workload::CorpusGenerator(options).Generate();
+}
+
+TEST(NaivePipelineTest, MatchesExecutorResults) {
+  auto ops1 = Pipeline();
+  auto ops2 = Pipeline();
+  NaivePipeline naive(1);
+  NaivePipeline::Report naive_report;
+  auto naive_result = naive.Run(Corpus().ToSamples(), ops1, &naive_report);
+  ASSERT_TRUE(naive_result.ok()) << naive_result.status().ToString();
+
+  core::Executor executor{core::Executor::Options{}};
+  auto exec_result = executor.Run(Corpus(), ops2, nullptr);
+  ASSERT_TRUE(exec_result.ok());
+
+  ASSERT_EQ(naive_result.value().size(), exec_result.value().NumRows());
+  for (size_t i = 0; i < naive_result.value().size(); ++i) {
+    EXPECT_EQ(naive_result.value()[i].GetText(),
+              exec_result.value().GetTextAt(i));
+  }
+}
+
+TEST(NaivePipelineTest, ReportPopulated) {
+  auto ops = Pipeline();
+  NaivePipeline naive(1);
+  NaivePipeline::Report report;
+  auto result = naive.Run(Corpus().ToSamples(), ops, &report);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(report.rows_in, 80u);
+  EXPECT_EQ(report.rows_out, result.value().size());
+  EXPECT_GT(report.seconds, 0.0);
+  EXPECT_GT(report.peak_row_bytes, 0u);
+}
+
+TEST(NaivePipelineTest, PeakMemoryCoversTwoLiveStages) {
+  auto ops = Pipeline();
+  NaivePipeline naive(1);
+  NaivePipeline::Report report;
+  std::vector<data::Sample> samples = Corpus().ToSamples();
+  uint64_t input_bytes = 0;
+  for (const auto& s : samples) {
+    input_bytes += data::ApproxValueBytes(json::Value(s.fields()));
+  }
+  ASSERT_TRUE(naive.Run(std::move(samples), ops, &report).ok());
+  // Eager stage copies keep ~2x the input alive at the peak.
+  EXPECT_GT(report.peak_row_bytes, input_bytes * 3 / 2);
+}
+
+TEST(NaivePipelineTest, ParallelMatchesSequential) {
+  auto ops1 = Pipeline();
+  auto ops2 = Pipeline();
+  NaivePipeline seq(1), par(4);
+  auto r1 = seq.Run(Corpus().ToSamples(), ops1, nullptr);
+  auto r2 = par.Run(Corpus().ToSamples(), ops2, nullptr);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().size(), r2.value().size());
+}
+
+TEST(NaivePipelineTest, EmptyInput) {
+  auto ops = Pipeline();
+  NaivePipeline naive(1);
+  auto result = naive.Run({}, ops, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+}  // namespace
+}  // namespace dj::baseline

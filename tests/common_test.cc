@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/resource_monitor.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace dj {
+namespace {
+
+// ------------------------------------------------------------- Status ----
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad np");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad np");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kAborted); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x * 2;
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> err = ParsePositive(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kOutOfRange);
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  DJ_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  *out = doubled;
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(5, &out).ok());
+  EXPECT_EQ(out, 10);
+  EXPECT_FALSE(UseAssignOrReturn(-5, &out).ok());
+}
+
+// -------------------------------------------------------- string_util ----
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpties) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, SplitLinesNoTrailingEmpty) {
+  EXPECT_EQ(SplitLines("a\nb\n"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitLines("a\n\nb"), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, StripAsciiWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  hi \n"), "hi");
+  EXPECT_EQ(StripAsciiWhitespace("\t\n "), "");
+}
+
+TEST(StringUtilTest, CaseConversionsAsciiOnly) {
+  EXPECT_EQ(AsciiToLower("MiXeD 123"), "mixed 123");
+  EXPECT_EQ(AsciiToUpper("MiXeD"), "MIXED");
+}
+
+TEST(StringUtilTest, StartsEndsContains) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_TRUE(EndsWith("file.jsonl", ".jsonl"));
+  EXPECT_TRUE(Contains("abcdef", "cde"));
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(ReplaceAll("no match", "xyz", "!"), "no match");
+  EXPECT_EQ(ReplaceAll("abc", "", "!"), "abc");  // empty needle is a no-op
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_FALSE(ParseInt64("42x", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  double d = 0;
+  EXPECT_TRUE(ParseDouble("2.5e3", &d));
+  EXPECT_DOUBLE_EQ(d, 2500.0);
+  EXPECT_FALSE(ParseDouble("1.2.3", &d));
+}
+
+TEST(StringUtilTest, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(0.25, 2), "0.25");
+}
+
+TEST(StringUtilTest, FormatBytesUnits) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.50 KiB");
+  EXPECT_EQ(FormatBytes(3u << 20), "3.00 MiB");
+}
+
+// --------------------------------------------------------------- hash ----
+
+TEST(HashTest, Fnv1a64IsStable) {
+  // Known value must never change: cache keys depend on it.
+  EXPECT_EQ(Fnv1a64("data-juicer"), Fnv1a64("data-juicer"));
+  EXPECT_NE(Fnv1a64("a"), Fnv1a64("b"));
+  EXPECT_NE(Fnv1a64("ab"), Fnv1a64("ba"));
+}
+
+TEST(HashTest, SeedChangesHash) {
+  EXPECT_NE(Fnv1a64("x", 1), Fnv1a64("x", 2));
+}
+
+TEST(HashTest, FingerprintCollisionsUnlikely) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 10000; ++i) {
+    seen.insert(FingerprintHex(Fingerprint("doc-" + std::to_string(i))));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(HashTest, FingerprintEqualityAndHexFormat) {
+  Fingerprint128 a = Fingerprint("same");
+  Fingerprint128 b = Fingerprint("same");
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(FingerprintHex(a).size(), 32u);
+}
+
+TEST(HashTest, SplitMix64Bijective) {
+  EXPECT_NE(SplitMix64(0), SplitMix64(1));
+  EXPECT_NE(SplitMix64(0), 0u);
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+// ------------------------------------------------------------- random ----
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(4);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(6);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ParetoMatchesNumpyConvention) {
+  // numpy.random.pareto(9) has mean 1/(9-1) = 0.125 and minimum 0.
+  Rng rng(8);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double p = rng.Pareto(9.0);
+    ASSERT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum / n, 0.125, 0.01);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(10);
+  std::vector<double> weights{1, 0, 3};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / 20000.0, 0.75, 0.02);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(11);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, original);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ForkIndependent) {
+  Rng parent(12);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.Next(), child.Next());
+}
+
+// -------------------------------------------------------- thread_pool ----
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.ParallelFor(1000, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  std::thread::id main_id = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.ParallelFor(10, [&](size_t, size_t) {
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, main_id);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+// --------------------------------------------------- resource_monitor ----
+
+TEST(ResourceMonitorTest, ReadsCurrentRss) {
+  EXPECT_GT(ResourceMonitor::CurrentRssBytes(), 0u);
+}
+
+TEST(ResourceMonitorTest, CpuSecondsMonotone) {
+  double before = ResourceMonitor::CurrentCpuSeconds();
+  volatile double x = 0;
+  for (int i = 0; i < 2000000; ++i) x = x + i * 0.5;
+  EXPECT_GE(ResourceMonitor::CurrentCpuSeconds(), before);
+}
+
+TEST(ResourceMonitorTest, StartStopProducesReport) {
+  ResourceMonitor monitor(0.01);
+  monitor.Start();
+  volatile double x = 0;
+  for (int i = 0; i < 3000000; ++i) x = x + i;
+  ResourceReport report = monitor.Stop();
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GT(report.peak_rss_bytes, 0u);
+  EXPECT_GE(report.peak_rss_bytes, report.avg_rss_bytes);
+}
+
+}  // namespace
+}  // namespace dj

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "compress/djlz.h"
+#include "workload/generator.h"
+
+namespace dj::compress {
+namespace {
+
+std::string RoundTrip(const std::string& input) {
+  std::string block = CompressBlock(input);
+  auto out = DecompressBlock(block, input.size());
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return out.ok() ? out.value() : "";
+}
+
+TEST(DjlzTest, EmptyInput) { EXPECT_EQ(RoundTrip(""), ""); }
+
+TEST(DjlzTest, TinyInput) { EXPECT_EQ(RoundTrip("abc"), "abc"); }
+
+TEST(DjlzTest, RepetitiveTextCompressesWell) {
+  std::string input;
+  for (int i = 0; i < 200; ++i) input += "the quick brown fox ";
+  std::string block = CompressBlock(input);
+  EXPECT_LT(block.size(), input.size() / 5);
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(DjlzTest, RunLengthViaOverlappingMatch) {
+  std::string input(10000, 'a');
+  std::string block = CompressBlock(input);
+  EXPECT_LT(block.size(), 100u);
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(DjlzTest, IncompressibleRandomBytesRoundTrip) {
+  Rng rng(42);
+  std::string input;
+  for (int i = 0; i < 5000; ++i) {
+    input.push_back(static_cast<char>(rng.NextBelow(256)));
+  }
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(DjlzTest, BinaryWithEmbeddedNulls) {
+  std::string input("a\0b\0\0c", 6);
+  input += std::string(100, '\0');
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(DjlzTest, DecompressRejectsWrongExpectedSize) {
+  std::string block = CompressBlock("hello world hello world");
+  EXPECT_FALSE(DecompressBlock(block, 5).ok());
+}
+
+TEST(DjlzTest, DecompressRejectsTruncatedBlock) {
+  std::string input;
+  for (int i = 0; i < 50; ++i) input += "repeat me please ";
+  std::string block = CompressBlock(input);
+  std::string truncated = block.substr(0, block.size() / 2);
+  EXPECT_FALSE(DecompressBlock(truncated, input.size()).ok());
+}
+
+TEST(DjlzFrameTest, FrameRoundTrip) {
+  std::string input = "framed content framed content framed content";
+  std::string frame = CompressFrame(input);
+  EXPECT_TRUE(IsFrame(frame));
+  auto out = DecompressFrame(frame);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), input);
+}
+
+TEST(DjlzFrameTest, DetectsCorruption) {
+  std::string input(1000, 'z');
+  std::string frame = CompressFrame(input);
+  // Flip a byte in the payload.
+  frame[frame.size() - 3] ^= 0x40;
+  EXPECT_FALSE(DecompressFrame(frame).ok());
+}
+
+TEST(DjlzFrameTest, RejectsNonFrame) {
+  EXPECT_FALSE(DecompressFrame("definitely not a frame").ok());
+  EXPECT_FALSE(IsFrame("XXXX"));
+}
+
+TEST(DjlzFrameTest, RejectsWrongVersion) {
+  std::string frame = CompressFrame("x");
+  frame[4] = 99;
+  EXPECT_FALSE(DecompressFrame(frame).ok());
+}
+
+// Property-style sweep: every corpus style round-trips and text compresses.
+class DjlzCorpusTest : public ::testing::TestWithParam<workload::Style> {};
+
+TEST_P(DjlzCorpusTest, CorpusRoundTripAndRatio) {
+  workload::CorpusOptions options;
+  options.style = GetParam();
+  options.num_docs = 30;
+  options.seed = 99;
+  data::Dataset ds = workload::CorpusGenerator(options).Generate();
+  std::string all;
+  for (size_t i = 0; i < ds.NumRows(); ++i) {
+    all += ds.GetTextAt(i);
+    all.push_back('\n');
+  }
+  std::string frame = CompressFrame(all);
+  auto out = DecompressFrame(frame);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), all);
+  // Natural-language corpora built from word banks compress well.
+  EXPECT_LT(frame.size(), all.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStyles, DjlzCorpusTest,
+    ::testing::Values(workload::Style::kWiki, workload::Style::kBooks,
+                      workload::Style::kArxiv, workload::Style::kStackExchange,
+                      workload::Style::kCode, workload::Style::kWeb,
+                      workload::Style::kCrawl, workload::Style::kChinese),
+    [](const ::testing::TestParamInfo<workload::Style>& info) {
+      return workload::StyleName(info.param);
+    });
+
+// Random-content fuzz sweep at several sizes.
+class DjlzRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DjlzRandomTest, MixedEntropyRoundTrip) {
+  Rng rng(GetParam());
+  std::string input;
+  size_t target = 100 + rng.NextBelow(20000);
+  while (input.size() < target) {
+    if (rng.Bernoulli(0.5)) {
+      // Compressible run.
+      input.append(rng.NextBelow(50) + 4, static_cast<char>(rng.NextBelow(4) + 'a'));
+    } else {
+      for (int i = 0; i < 16; ++i) {
+        input.push_back(static_cast<char>(rng.NextBelow(256)));
+      }
+    }
+  }
+  auto out = DecompressBlock(CompressBlock(input), input.size());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DjlzRandomTest, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace dj::compress

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "core/executor.h"
+#include "dist/cluster.h"
+#include "dist/distributed_executor.h"
+#include "ops/registry.h"
+#include "workload/generator.h"
+
+namespace dj::dist {
+namespace {
+
+std::vector<std::unique_ptr<ops::Op>> Pipeline() {
+  core::Recipe recipe =
+      core::Recipe::FromString(R"(
+process:
+  - whitespace_normalization_mapper:
+  - clean_links_mapper:
+  - text_length_filter:
+      min: 20
+  - word_num_filter:
+      min: 5
+  - document_exact_deduplicator:
+)")
+          .value();
+  return core::BuildOps(recipe, ops::OpRegistry::Global()).value();
+}
+
+data::Dataset Corpus() {
+  workload::CorpusOptions options;
+  options.style = workload::Style::kStackExchange;
+  options.num_docs = 600;
+  options.exact_dup_rate = 0.15;
+  options.seed = 33;
+  return workload::CorpusGenerator(options).Generate();
+}
+
+DistributedReport RunBackend(Backend backend, size_t nodes,
+                      data::Dataset* result_out = nullptr) {
+  DistributedExecutor::Options options;
+  options.backend = backend;
+  options.cluster.num_nodes = nodes;
+  DistributedExecutor executor(options);
+  auto ops = Pipeline();
+  DistributedReport report;
+  auto result = executor.Run(Corpus(), ops, &report);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (result_out != nullptr && result.ok()) {
+    *result_out = std::move(result).value();
+  }
+  return report;
+}
+
+TEST(ClusterTest, EffectiveSpeedupModel) {
+  EXPECT_DOUBLE_EQ(EffectiveSpeedup(1, 0.9), 1.0);
+  EXPECT_GT(EffectiveSpeedup(4, 0.9), 3.0);
+  EXPECT_LT(EffectiveSpeedup(4, 0.9), 4.0);
+}
+
+TEST(DistributedExecutorTest, BackendNames) {
+  EXPECT_STREQ(BackendName(Backend::kSingleNode), "data-juicer");
+  EXPECT_STREQ(BackendName(Backend::kRay), "dj-on-ray");
+  EXPECT_STREQ(BackendName(Backend::kBeam), "dj-on-beam");
+}
+
+TEST(DistributedExecutorTest, AllBackendsProduceIdenticalResults) {
+  data::Dataset single, ray, beam;
+  RunBackend(Backend::kSingleNode, 1, &single);
+  RunBackend(Backend::kRay, 4, &ray);
+  RunBackend(Backend::kBeam, 4, &beam);
+  ASSERT_EQ(single.NumRows(), ray.NumRows());
+  ASSERT_EQ(single.NumRows(), beam.NumRows());
+  for (size_t i = 0; i < single.NumRows(); ++i) {
+    EXPECT_EQ(single.GetTextAt(i), ray.GetTextAt(i));
+    EXPECT_EQ(single.GetTextAt(i), beam.GetTextAt(i));
+  }
+}
+
+TEST(DistributedExecutorTest, MatchesLocalExecutor) {
+  core::Executor local{core::Executor::Options{}};
+  auto ops = Pipeline();
+  auto expected = local.Run(Corpus(), ops, nullptr);
+  ASSERT_TRUE(expected.ok());
+  data::Dataset distributed;
+  RunBackend(Backend::kRay, 8, &distributed);
+  EXPECT_EQ(expected.value().NumRows(), distributed.NumRows());
+}
+
+TEST(DistributedExecutorTest, RayScalesWithNodes) {
+  DistributedReport one = RunBackend(Backend::kRay, 1);
+  DistributedReport four = RunBackend(Backend::kRay, 4);
+  DistributedReport sixteen = RunBackend(Backend::kRay, 16);
+  // Modeled load + compute shrink with nodes (overhead grows slowly), and
+  // the total wall-clock drops substantially — the Fig. 10 Ray curve.
+  EXPECT_LT(four.load_seconds, one.load_seconds);
+  EXPECT_LT(sixteen.load_seconds, four.load_seconds);
+  EXPECT_LE(four.compute_seconds, one.compute_seconds * 1.2);
+  EXPECT_LT(four.total_seconds, one.total_seconds);
+  EXPECT_LT(sixteen.total_seconds, four.total_seconds);
+  EXPECT_LT(sixteen.total_seconds, one.total_seconds * 0.7);
+}
+
+TEST(DistributedExecutorTest, BeamStaysFlatAndSingleNodeFastestAtOne) {
+  DistributedReport single = RunBackend(Backend::kSingleNode, 1);
+  DistributedReport ray1 = RunBackend(Backend::kRay, 1);
+  DistributedReport beam1 = RunBackend(Backend::kBeam, 1);
+  DistributedReport beam16 = RunBackend(Backend::kBeam, 16);
+  // Native executor wins the single-server scenario (paper Fig. 10).
+  EXPECT_LT(single.total_seconds, ray1.total_seconds);
+  EXPECT_LT(single.total_seconds, beam1.total_seconds);
+  // Beam's serial loading keeps its total nearly flat.
+  EXPECT_GT(beam16.total_seconds, beam1.total_seconds * 0.7);
+}
+
+TEST(DistributedExecutorTest, BeamLoadDoesNotShrink) {
+  DistributedReport one = RunBackend(Backend::kBeam, 1);
+  DistributedReport sixteen = RunBackend(Backend::kBeam, 16);
+  EXPECT_DOUBLE_EQ(one.load_seconds, sixteen.load_seconds);
+}
+
+TEST(DistributedExecutorTest, SingleNodeHasNoClusterOverhead) {
+  DistributedReport report = RunBackend(Backend::kSingleNode, 8);
+  EXPECT_EQ(report.num_nodes, 1u);  // nodes forced to 1
+  EXPECT_DOUBLE_EQ(report.overhead_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(report.shuffle_seconds, 0.0);
+}
+
+TEST(DistributedExecutorTest, ShuffleChargedForGlobalOps) {
+  DistributedReport report = RunBackend(Backend::kRay, 4);
+  EXPECT_GT(report.shuffle_seconds, 0.0);  // the dedup forces a shuffle
+}
+
+TEST(DistributedExecutorTest, ReportRenders) {
+  DistributedReport report = RunBackend(Backend::kRay, 2);
+  std::string s = report.ToString();
+  EXPECT_NE(s.find("dj-on-ray"), std::string::npos);
+  EXPECT_NE(s.find("nodes=2"), std::string::npos);
+}
+
+TEST(DistributedExecutorTest, PipelineWithoutDedupHasNoShuffle) {
+  DistributedExecutor::Options options;
+  options.backend = Backend::kRay;
+  options.cluster.num_nodes = 4;
+  DistributedExecutor executor(options);
+  core::Recipe recipe =
+      core::Recipe::FromString(
+          "process:\n  - lower_case_mapper:\n")
+          .value();
+  auto ops = core::BuildOps(recipe, ops::OpRegistry::Global()).value();
+  DistributedReport report;
+  ASSERT_TRUE(executor.Run(Corpus(), ops, &report).ok());
+  EXPECT_DOUBLE_EQ(report.shuffle_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace dj::dist

@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "eval/benchmarks.h"
+#include "eval/judge.h"
+#include "eval/leaderboard.h"
+#include "eval/model_store.h"
+#include "eval/scaling.h"
+#include "eval/trainer.h"
+#include "workload/generator.h"
+
+namespace dj::eval {
+namespace {
+
+data::Dataset CleanCorpus(size_t docs, uint64_t seed) {
+  workload::CorpusOptions options;
+  options.style = workload::Style::kWiki;
+  options.num_docs = docs;
+  options.seed = seed;
+  return workload::CorpusGenerator(options).Generate();
+}
+
+data::Dataset NoisyCorpus(size_t docs, uint64_t seed) {
+  workload::CorpusOptions options;
+  options.style = workload::Style::kCrawl;
+  options.num_docs = docs;
+  options.spam_rate = 0.9;
+  options.boilerplate_rate = 0.9;
+  options.noise_rate = 0.7;
+  options.exact_dup_rate = 0.5;
+  options.seed = seed;
+  return workload::CorpusGenerator(options).Generate();
+}
+
+// ------------------------------------------------------------- trainer ----
+
+TEST(TrainerTest, RespectsTokenBudget) {
+  TrainOptions options;
+  options.token_budget = 3000;
+  TrainedModel model = PretrainReferenceModel(CleanCorpus(100, 1), options);
+  EXPECT_GE(model.tokens_consumed, 3000u);
+  EXPECT_LT(model.tokens_consumed, 3600u);  // stops shortly after budget
+  EXPECT_GT(model.documents_seen, 0u);
+  EXPECT_TRUE(model.model.finalized());
+}
+
+TEST(TrainerTest, SmallDatasetIteratesEpochs) {
+  TrainOptions options;
+  options.token_budget = 100000;
+  options.max_epochs = 3;
+  TrainedModel model = PretrainReferenceModel(CleanCorpus(5, 2), options);
+  EXPECT_EQ(model.epochs, 3);
+}
+
+TEST(TrainerTest, EmptyDatasetYieldsEmptyModel) {
+  TrainedModel model = PretrainReferenceModel(data::Dataset(), TrainOptions{});
+  EXPECT_EQ(model.tokens_consumed, 0u);
+}
+
+// ---------------------------------------------------------- benchmarks ----
+
+TEST(BenchmarkSuiteTest, SixteenCoreTasks) {
+  BenchmarkSuite suite = BenchmarkSuite::CoreSuite();
+  EXPECT_EQ(suite.tasks().size(), 16u);
+  for (const BenchmarkTask& task : suite.tasks()) {
+    EXPECT_FALSE(task.eval_texts.empty()) << task.name;
+  }
+}
+
+TEST(BenchmarkSuiteTest, PerplexityToScoreMonotone) {
+  EXPECT_GT(BenchmarkSuite::PerplexityToScore(10),
+            BenchmarkSuite::PerplexityToScore(100));
+  EXPECT_GT(BenchmarkSuite::PerplexityToScore(100),
+            BenchmarkSuite::PerplexityToScore(1000));
+  EXPECT_GE(BenchmarkSuite::PerplexityToScore(1), 0.0);
+  EXPECT_LE(BenchmarkSuite::PerplexityToScore(1), 100.0);
+}
+
+TEST(BenchmarkSuiteTest, CleanTrainedModelBeatsNoiseTrained) {
+  // Fixed token budget: the noisy corpus burns most of it on boilerplate,
+  // spam, and duplicates, so the model sees far less useful text — the
+  // mechanism behind the paper's data-quality results.
+  TrainOptions options;
+  options.token_budget = 12000;
+  options.max_epochs = 1;
+  TrainedModel clean = PretrainReferenceModel(CleanCorpus(400, 3), options);
+  TrainedModel noisy = PretrainReferenceModel(NoisyCorpus(400, 4), options);
+  BenchmarkSuite suite = BenchmarkSuite::CoreSuite();
+  double clean_score = BenchmarkSuite::AverageScore(suite.Evaluate(clean.model));
+  double noisy_score = BenchmarkSuite::AverageScore(suite.Evaluate(noisy.model));
+  EXPECT_GT(clean_score, noisy_score);
+}
+
+TEST(BenchmarkSuiteTest, MoreTokensHelp) {
+  TrainOptions small;
+  small.token_budget = 2000;
+  small.max_epochs = 1;
+  TrainOptions large;
+  large.token_budget = 80000;
+  TrainedModel m_small = PretrainReferenceModel(CleanCorpus(500, 5), small);
+  TrainedModel m_large = PretrainReferenceModel(CleanCorpus(500, 5), large);
+  BenchmarkSuite suite = BenchmarkSuite::CoreSuite();
+  EXPECT_GT(BenchmarkSuite::AverageScore(suite.Evaluate(m_large.model)),
+            BenchmarkSuite::AverageScore(suite.Evaluate(m_small.model)));
+}
+
+// --------------------------------------------------------------- judge ----
+
+TEST(PairwiseJudgeTest, PrefersHelpfulResponse) {
+  PairwiseJudge judge;
+  std::string instruction = "Describe the experimental results in detail.";
+  std::string good =
+      "The experimental results show that the new method improves accuracy "
+      "across all datasets. The largest gains appear on the smallest "
+      "datasets, which suggests the approach helps most when data is "
+      "scarce.";
+  std::string bad = "ok";
+  EXPECT_EQ(judge.Compare(instruction, good, bad), Verdict::kWinA);
+  EXPECT_EQ(judge.Compare(instruction, bad, good), Verdict::kWinB);
+}
+
+TEST(PairwiseJudgeTest, PenalizesSpamAndRepetition) {
+  PairwiseJudge judge;
+  std::string instruction = "Explain the policy.";
+  std::string normal =
+      "The policy reduces costs for rural communities and improves access "
+      "to services over several years.";
+  std::string spam = "casino jackpot viagra click here casino jackpot";
+  std::string repetitive;
+  for (int i = 0; i < 20; ++i) repetitive += "the policy is good and ";
+  EXPECT_GT(judge.ScoreResponse(instruction, normal),
+            judge.ScoreResponse(instruction, spam));
+  EXPECT_GT(judge.ScoreResponse(instruction, normal),
+            judge.ScoreResponse(instruction, repetitive));
+}
+
+TEST(PairwiseJudgeTest, IdenticalResponsesTie) {
+  PairwiseJudge judge;
+  std::string r = "The system processes the data efficiently.";
+  EXPECT_EQ(judge.Compare("Explain.", r, r), Verdict::kTie);
+}
+
+TEST(PairwiseJudgeTest, EvaluateAggregates) {
+  PairwiseJudge judge;
+  std::vector<std::string> instructions{"Describe the data.",
+                                        "Summarize the report."};
+  std::vector<std::string> good{
+      "The data contains millions of cleaned documents from many domains "
+      "and languages collected over years.",
+      "The report describes the economic effects of the policy with strong "
+      "evidence and careful analysis."};
+  std::vector<std::string> bad{"ok", "fine"};
+  PairwiseResult result = judge.Evaluate(instructions, good, bad);
+  EXPECT_EQ(result.wins_a, 2u);
+  EXPECT_EQ(result.wins_b, 0u);
+  EXPECT_DOUBLE_EQ(result.win_rate_a(), 1.0);
+}
+
+// ---------------------------------------------------------- leaderboard ----
+
+TEST(LeaderboardTest, RanksByAverageScore) {
+  Leaderboard board;
+  ReferenceModelEntry strong;
+  strong.name = "strong";
+  strong.training_data = "refined";
+  strong.task_results = {{"t1", 80}, {"t2", 70}};
+  ReferenceModelEntry weak;
+  weak.name = "weak";
+  weak.training_data = "raw";
+  weak.task_results = {{"t1", 40}, {"t2", 50}};
+  board.Register(weak);
+  board.Register(strong);
+  auto ranked = board.Rank(RankingStrategy::kScoreAverage);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].first.name, "strong");
+  EXPECT_DOUBLE_EQ(ranked[0].second, 75.0);
+}
+
+TEST(LeaderboardTest, AllStrategiesAgreeOnDominance) {
+  Leaderboard board;
+  ReferenceModelEntry a;
+  a.name = "a";
+  a.task_results = {{"t1", 90}, {"t2", 90}};
+  ReferenceModelEntry b;
+  b.name = "b";
+  b.task_results = {{"t1", 10}, {"t2", 10}};
+  board.Register(a);
+  board.Register(b);
+  for (RankingStrategy strategy :
+       {RankingStrategy::kScoreAverage, RankingStrategy::kRankAverage,
+        RankingStrategy::kNormalizedAverage}) {
+    auto ranked = board.Rank(strategy);
+    EXPECT_EQ(ranked[0].first.name, "a");
+  }
+}
+
+// -------------------------------------------------------------- scaling ----
+
+TEST(ScalingLawTest, RecoversExactLogLinearTrend) {
+  // score = 10 + 5*log10(tokens).
+  std::vector<ScalingPoint> points = {
+      {1'000, 25.0}, {10'000, 30.0}, {100'000, 35.0}};
+  auto fit = ScalingLaw::Fit(points);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().intercept(), 10.0, 1e-9);
+  EXPECT_NEAR(fit.value().slope(), 5.0, 1e-9);
+  EXPECT_NEAR(fit.value().r_squared(), 1.0, 1e-9);
+  EXPECT_NEAR(fit.value().Predict(1'000'000), 40.0, 1e-9);
+  EXPECT_NEAR(static_cast<double>(fit.value().TokensForScore(45.0)), 1e7,
+              1e7 * 0.01);
+}
+
+TEST(ScalingLawTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(ScalingLaw::Fit({{1000, 1.0}}).ok());
+  EXPECT_FALSE(ScalingLaw::Fit({{1000, 1.0}, {1000, 2.0}}).ok());
+  EXPECT_FALSE(ScalingLaw::Fit({{0, 1.0}, {10, 2.0}}).ok());
+}
+
+TEST(ScalingLawTest, FlatTrendUnreachableTarget) {
+  auto fit = ScalingLaw::Fit({{1'000, 30.0}, {100'000, 30.0}});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_EQ(fit.value().TokensForScore(50.0), 0u);
+}
+
+TEST(ScalingLawTest, PredictsRealTrainingCurve) {
+  // Fit on small-budget checkpoints, predict a larger one; the prediction
+  // must be closer to the measured large-budget score than a flat
+  // extrapolation of the last point would suggest — i.e., the slope is
+  // informative (paper Sec. 5.3 scaling prediction).
+  data::Dataset corpus = CleanCorpus(600, 42);
+  BenchmarkSuite suite = BenchmarkSuite::CoreSuite();
+  std::vector<ScalingPoint> observed;
+  for (uint64_t budget : {4'000ull, 8'000ull, 16'000ull, 32'000ull}) {
+    TrainOptions options;
+    options.token_budget = budget;
+    options.max_epochs = 1;
+    TrainedModel model = PretrainReferenceModel(corpus, options);
+    observed.push_back(
+        {budget, BenchmarkSuite::AverageScore(suite.Evaluate(model.model))});
+  }
+  auto fit = ScalingLaw::Fit(observed);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(fit.value().slope(), 0.0);  // more data helps
+
+  TrainOptions big;
+  big.token_budget = 64'000;
+  big.max_epochs = 1;
+  TrainedModel big_model = PretrainReferenceModel(corpus, big);
+  double actual =
+      BenchmarkSuite::AverageScore(suite.Evaluate(big_model.model));
+  double predicted = fit.value().Predict(64'000);
+  // The fit extrapolates the improving trend (prediction above the last
+  // checkpoint) and lands in the right neighborhood of the measured score.
+  EXPECT_GT(predicted, observed.back().score);
+  EXPECT_NEAR(predicted, actual, 5.0);
+}
+
+// ---------------------------------------------------------- model store ----
+
+TEST(ModelStoreTest, ReferenceModelRoundTrip) {
+  std::string dir = ::testing::TempDir() + "/dj_model_store";
+  std::filesystem::create_directories(dir);
+  TrainOptions options;
+  options.token_budget = 5000;
+  StoredReferenceModel stored;
+  stored.name = "ref-model-1";
+  stored.training_data = "wiki corpus, pretrain_general_en recipe";
+  stored.trained = PretrainReferenceModel(CleanCorpus(60, 9), options);
+  ASSERT_TRUE(SaveReferenceModel(stored, dir + "/model1").ok());
+
+  auto loaded = LoadReferenceModel(dir + "/model1");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().name, "ref-model-1");
+  EXPECT_EQ(loaded.value().trained.tokens_consumed,
+            stored.trained.tokens_consumed);
+  // Identical behavior: same perplexity on a probe text.
+  std::string probe = "the committee describes the report in detail";
+  EXPECT_DOUBLE_EQ(loaded.value().trained.model.Perplexity(probe),
+                   stored.trained.model.Perplexity(probe));
+  EXPECT_FALSE(LoadReferenceModel(dir + "/missing").ok());
+}
+
+TEST(ModelStoreTest, LeaderboardRoundTrip) {
+  std::string dir = ::testing::TempDir() + "/dj_board_store";
+  std::filesystem::create_directories(dir);
+  Leaderboard board;
+  ReferenceModelEntry a;
+  a.name = "a";
+  a.training_data = "refined";
+  a.tokens_trained = 42;
+  a.task_results = {{"t1", 80.5}, {"t2", 70.25}};
+  board.Register(a);
+  ASSERT_TRUE(SaveLeaderboard(board, dir + "/board.json").ok());
+  auto loaded = LoadLeaderboard(dir + "/board.json");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().entries().size(), 1u);
+  EXPECT_EQ(loaded.value().entries()[0].name, "a");
+  EXPECT_EQ(loaded.value().entries()[0].tokens_trained, 42u);
+  ASSERT_EQ(loaded.value().entries()[0].task_results.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.value().entries()[0].task_results[1].score, 70.25);
+  EXPECT_DOUBLE_EQ(loaded.value().entries()[0].average_score, 75.375);
+}
+
+TEST(LeaderboardTest, RendersTable) {
+  Leaderboard board;
+  ReferenceModelEntry e;
+  e.name = "model-x";
+  e.training_data = "dj-recipe";
+  e.tokens_trained = 12345;
+  e.task_results = {{"t", 50}};
+  board.Register(e);
+  std::string table = board.ToString(RankingStrategy::kScoreAverage);
+  EXPECT_NE(table.find("model-x"), std::string::npos);
+  EXPECT_NE(table.find("dj-recipe"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dj::eval

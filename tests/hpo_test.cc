@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hpo/hyperband.h"
+#include "hpo/mixing.h"
+#include "hpo/optimizer.h"
+#include "hpo/search_space.h"
+#include "quality/quality_classifier.h"
+#include "workload/generator.h"
+
+namespace dj::hpo {
+namespace {
+
+SearchSpace QuadraticSpace() {
+  SearchSpace space;
+  space.Add({"x", -5, 5, false, false});
+  space.Add({"y", -5, 5, false, false});
+  return space;
+}
+
+double QuadraticObjective(const ParamSet& p) {
+  double x = p.Get("x"), y = p.Get("y");
+  return -((x - 1.5) * (x - 1.5) + (y + 2.0) * (y + 2.0));
+}
+
+// -------------------------------------------------------- search space ----
+
+TEST(SearchSpaceTest, UniformSamplesWithinBounds) {
+  SearchSpace space;
+  space.Add({"a", 2, 8, false, false});
+  space.Add({"b", 1e-4, 1e-1, true, false});
+  space.Add({"n", 1, 10, false, true});
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    ParamSet p = space.SampleUniform(&rng);
+    double a = p.Get("a"), b = p.Get("b"), n = p.Get("n");
+    EXPECT_GE(a, 2);
+    EXPECT_LE(a, 8);
+    EXPECT_GE(b, 1e-4);
+    EXPECT_LE(b, 1e-1);
+    EXPECT_DOUBLE_EQ(n, std::round(n));  // integer param
+  }
+}
+
+TEST(SearchSpaceTest, LogScaleCoversDecades) {
+  SearchSpace space;
+  space.Add({"lr", 1e-4, 1.0, true, false});
+  Rng rng(2);
+  int tiny = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (space.SampleUniform(&rng).Get("lr") < 1e-2) ++tiny;
+  }
+  // Log-uniform: half the samples below 1e-2 (the geometric midpoint).
+  EXPECT_NEAR(tiny / 2000.0, 0.5, 0.06);
+}
+
+TEST(SearchSpaceTest, ClampRounds) {
+  SearchSpace space;
+  space.Add({"n", 0, 10, false, true});
+  EXPECT_DOUBLE_EQ(space.Clamp(0, 3.7), 4.0);
+  EXPECT_DOUBLE_EQ(space.Clamp(0, -5), 0.0);
+  EXPECT_DOUBLE_EQ(space.Clamp(0, 15), 10.0);
+}
+
+TEST(ParamSetTest, GetWithDefault) {
+  ParamSet p;
+  p.values.emplace_back("x", 2.5);
+  EXPECT_DOUBLE_EQ(p.Get("x"), 2.5);
+  EXPECT_DOUBLE_EQ(p.Get("missing", -1), -1.0);
+}
+
+// ----------------------------------------------------------- optimizers ----
+
+TEST(RandomSearchTest, FindsDecentOptimum) {
+  RandomSearch rs(QuadraticSpace());
+  Rng rng(3);
+  Trial best = RunOptimization(&rs, QuadraticObjective, 120, &rng);
+  EXPECT_GT(best.objective, -1.5);
+  EXPECT_EQ(rs.trials().size(), 120u);
+}
+
+TEST(OptimizerTest, BestTracksMaximum) {
+  RandomSearch rs(QuadraticSpace());
+  EXPECT_EQ(rs.Best(), nullptr);
+  Trial t1;
+  t1.objective = 1;
+  rs.Observe(t1);
+  Trial t2;
+  t2.objective = 5;
+  rs.Observe(t2);
+  ASSERT_NE(rs.Best(), nullptr);
+  EXPECT_DOUBLE_EQ(rs.Best()->objective, 5.0);
+}
+
+TEST(TpeOptimizerTest, OutperformsRandomAtEqualBudget) {
+  // Averaged over seeds so the comparison is statistical, not anecdotal.
+  double tpe_total = 0, random_total = 0;
+  const int kSeeds = 6, kTrials = 70;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    Rng rng1(seed * 2 + 1), rng2(seed * 2 + 1);
+    TpeOptimizer tpe(QuadraticSpace());
+    RandomSearch rs(QuadraticSpace());
+    tpe_total += RunOptimization(&tpe, QuadraticObjective, kTrials, &rng1)
+                     .objective;
+    random_total +=
+        RunOptimization(&rs, QuadraticObjective, kTrials, &rng2).objective;
+  }
+  EXPECT_GT(tpe_total / kSeeds, random_total / kSeeds);
+}
+
+TEST(TpeOptimizerTest, SuggestionsStayInBounds) {
+  TpeOptimizer tpe(QuadraticSpace());
+  Rng rng(9);
+  for (int i = 0; i < 60; ++i) {
+    ParamSet p = tpe.Suggest(&rng);
+    EXPECT_GE(p.Get("x"), -5);
+    EXPECT_LE(p.Get("x"), 5);
+    Trial t;
+    t.objective = QuadraticObjective(p);
+    t.params = std::move(p);
+    tpe.Observe(std::move(t));
+  }
+}
+
+// ------------------------------------------------------------ hyperband ----
+
+TEST(SuccessiveHalvingTest, SavesBudgetVersusFullFidelity) {
+  SuccessiveHalving::Options options;
+  options.initial_configs = 27;
+  options.eta = 3;
+  options.min_budget = 1.0 / 9;
+  SuccessiveHalving sh(options);
+  Rng rng(4);
+  auto objective = [](const ParamSet& p, double budget) {
+    // Noisy at low budget, exact at full budget.
+    double noise = (1.0 - budget) * 0.3;
+    return QuadraticObjective(p) - noise;
+  };
+  Trial best = sh.Run(QuadraticSpace(), objective, &rng);
+  EXPECT_GT(best.objective, -4.0);
+  // Early stopping: far less total budget than 27 full evaluations.
+  EXPECT_LT(sh.total_budget_spent(), 27.0 * 0.5);
+  EXPECT_FALSE(sh.history().empty());
+  EXPECT_DOUBLE_EQ(best.budget, 1.0);  // winner evaluated at full fidelity
+}
+
+TEST(SuccessiveHalvingTest, RungsShrinkByEta) {
+  SuccessiveHalving::Options options;
+  options.initial_configs = 9;
+  options.eta = 3;
+  options.min_budget = 1.0 / 9;
+  SuccessiveHalving sh(options);
+  Rng rng(5);
+  sh.Run(QuadraticSpace(),
+         [](const ParamSet& p, double) { return QuadraticObjective(p); },
+         &rng);
+  // 9 at b=1/9, 3 at b=1/3, 1 at b=1 -> 13 evaluations.
+  EXPECT_EQ(sh.history().size(), 13u);
+}
+
+// --------------------------------------------------------------- mixing ----
+
+class MixingTest : public ::testing::Test {
+ protected:
+  static std::vector<data::Dataset> Sources() {
+    workload::CorpusOptions clean;
+    clean.style = workload::Style::kWiki;
+    clean.num_docs = 60;
+    clean.seed = 41;
+    workload::CorpusOptions noisy;
+    noisy.style = workload::Style::kCrawl;
+    noisy.num_docs = 60;
+    noisy.spam_rate = 0.8;
+    noisy.seed = 42;
+    return {workload::CorpusGenerator(clean).Generate(),
+            workload::CorpusGenerator(noisy).Generate()};
+  }
+};
+
+TEST_F(MixingTest, SpaceMatchesSources) {
+  MixingProblem problem(Sources(), &quality::QualityClassifier::DefaultGpt3(),
+                        MixingProblem::Options{});
+  EXPECT_EQ(problem.num_sources(), 2u);
+  EXPECT_EQ(problem.Space().size(), 2u);
+}
+
+TEST_F(MixingTest, ObjectivePrefersCleanSource) {
+  MixingProblem problem(Sources(), &quality::QualityClassifier::DefaultGpt3(),
+                        MixingProblem::Options{});
+  ParamSet clean_heavy;
+  clean_heavy.values = {{"w0", 0.9}, {"w1", 0.05}};
+  ParamSet noisy_heavy;
+  noisy_heavy.values = {{"w0", 0.05}, {"w1", 0.9}};
+  EXPECT_GT(problem.Evaluate(clean_heavy), problem.Evaluate(noisy_heavy));
+}
+
+TEST_F(MixingTest, HpoBeatsHandPickedCorners) {
+  MixingProblem problem(Sources(), &quality::QualityClassifier::DefaultGpt3(),
+                        MixingProblem::Options{});
+  TpeOptimizer tpe(problem.Space());
+  Rng rng(6);
+  Trial best = RunOptimization(
+      &tpe, [&](const ParamSet& p) { return problem.Evaluate(p); }, 40, &rng);
+  ParamSet clean_only;
+  clean_only.values = {{"w0", 1.0}, {"w1", 0.0}};
+  ParamSet noisy_only;
+  noisy_only.values = {{"w0", 0.0}, {"w1", 1.0}};
+  // The optimizer must do at least as well as either pure-source corner.
+  EXPECT_GE(best.objective, problem.Evaluate(clean_only) - 1e-9);
+  EXPECT_GE(best.objective, problem.Evaluate(noisy_only) - 1e-9);
+  // And the optimum takes most of the clean source.
+  EXPECT_GT(best.params.Get("w0"), 0.5);
+}
+
+TEST_F(MixingTest, MixMaterializesSamples) {
+  MixingProblem problem(Sources(), &quality::QualityClassifier::DefaultGpt3(),
+                        MixingProblem::Options{});
+  ParamSet weights;
+  weights.values = {{"w0", 0.5}, {"w1", 0.5}};
+  data::Dataset mix = problem.Mix(weights);
+  EXPECT_GT(mix.NumRows(), 10u);
+  EXPECT_LT(mix.NumRows(), 120u);
+}
+
+}  // namespace
+}  // namespace dj::hpo

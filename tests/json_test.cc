@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "json/parser.h"
+#include "json/value.h"
+#include "json/writer.h"
+
+namespace dj::json {
+namespace {
+
+Value MustParse(std::string_view text) {
+  auto r = Parse(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(r).value() : Value();
+}
+
+// -------------------------------------------------------------- Value ----
+
+TEST(JsonValueTest, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(int64_t{3}).is_int());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value(int64_t{3}).is_number());
+  EXPECT_TRUE(Value("s").is_string());
+  EXPECT_TRUE(Value(Array{}).is_array());
+  EXPECT_TRUE(Value(Object{}).is_object());
+}
+
+TEST(JsonValueTest, IntDoubleNumericEquality) {
+  EXPECT_EQ(Value(int64_t{2}), Value(2.0));
+  EXPECT_NE(Value(int64_t{2}), Value(2.5));
+}
+
+TEST(JsonValueTest, ObjectPreservesInsertionOrder) {
+  Object o;
+  o.Set("z", Value(1));
+  o.Set("a", Value(2));
+  EXPECT_EQ(o.entries()[0].first, "z");
+  EXPECT_EQ(o.entries()[1].first, "a");
+}
+
+TEST(JsonValueTest, ObjectSetOverwrites) {
+  Object o;
+  o.Set("k", Value(1));
+  o.Set("k", Value(9));
+  EXPECT_EQ(o.size(), 1u);
+  EXPECT_EQ(o.Find("k")->as_int(), 9);
+}
+
+TEST(JsonValueTest, ObjectErase) {
+  Object o;
+  o.Set("k", Value(1));
+  EXPECT_TRUE(o.Erase("k"));
+  EXPECT_FALSE(o.Erase("k"));
+  EXPECT_TRUE(o.empty());
+}
+
+TEST(JsonValueTest, TypedGettersWithDefaults) {
+  Value v = MustParse(R"({"b": true, "i": 5, "d": 1.5, "s": "x"})");
+  EXPECT_TRUE(v.GetBool("b", false));
+  EXPECT_EQ(v.GetInt("i", 0), 5);
+  EXPECT_DOUBLE_EQ(v.GetDouble("d", 0), 1.5);
+  EXPECT_EQ(v.GetString("s", ""), "x");
+  EXPECT_EQ(v.GetInt("missing", -1), -1);
+  EXPECT_EQ(v.GetString("i", "def"), "def");  // wrong type -> default
+  EXPECT_EQ(v.GetInt("d", 0), 1);             // double truncates to int
+}
+
+// ------------------------------------------------------------- Parser ----
+
+TEST(JsonParserTest, ParsesScalars) {
+  EXPECT_TRUE(MustParse("null").is_null());
+  EXPECT_EQ(MustParse("true").as_bool(), true);
+  EXPECT_EQ(MustParse("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(MustParse("2.5e-3").as_double(), 0.0025);
+  EXPECT_EQ(MustParse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParserTest, IntegersStayIntegers) {
+  Value v = MustParse("[1, 1.0]");
+  EXPECT_TRUE(v.as_array()[0].is_int());
+  EXPECT_TRUE(v.as_array()[1].is_double());
+}
+
+TEST(JsonParserTest, HugeIntegerFallsBackToDouble) {
+  Value v = MustParse("123456789012345678901234567890");
+  EXPECT_TRUE(v.is_double());
+}
+
+TEST(JsonParserTest, NestedStructures) {
+  Value v = MustParse(R"({"a": [1, {"b": [true, null]}]})");
+  const Value* b = v.as_object().Find("a");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->as_array()[1].as_object().Find("b")->as_array().size(), 2u);
+}
+
+TEST(JsonParserTest, StringEscapes) {
+  EXPECT_EQ(MustParse(R"("a\nb\t\"c\"\\")").as_string(), "a\nb\t\"c\"\\");
+}
+
+TEST(JsonParserTest, UnicodeEscapes) {
+  EXPECT_EQ(MustParse(R"("é")").as_string(), "\xC3\xA9");       // é
+  EXPECT_EQ(MustParse(R"("中")").as_string(), "\xE4\xB8\xAD");   // 中
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(MustParse(R"("😀")").as_string(),
+            "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParserTest, RejectsUnpairedSurrogate) {
+  EXPECT_FALSE(Parse(R"("\ud83d")").ok());
+}
+
+TEST(JsonParserTest, ErrorsCarryLineAndColumn) {
+  auto r = Parse("{\n  \"a\": oops\n}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(JsonParserTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(Parse("{} extra").ok());
+}
+
+TEST(JsonParserTest, RejectsUnterminatedStructures) {
+  EXPECT_FALSE(Parse("[1, 2").ok());
+  EXPECT_FALSE(Parse("{\"a\": 1").ok());
+  EXPECT_FALSE(Parse("\"abc").ok());
+}
+
+TEST(JsonParserTest, LenientCommentsAndTrailingCommas) {
+  Value v = MustParse(R"({
+    // a line comment
+    "a": 1,  # another comment
+    "b": [1, 2,],
+  })");
+  EXPECT_EQ(v.GetInt("a", 0), 1);
+  EXPECT_EQ(v.as_object().Find("b")->as_array().size(), 2u);
+}
+
+TEST(JsonParserTest, StrictModeRejectsExtensions) {
+  EXPECT_FALSE(ParseStrict("{\"a\": 1,}").ok());
+  EXPECT_FALSE(ParseStrict("// c\n1").ok());
+  EXPECT_TRUE(ParseStrict("{\"a\": 1}").ok());
+}
+
+TEST(JsonParserTest, EmptyContainers) {
+  EXPECT_TRUE(MustParse("[]").as_array().empty());
+  EXPECT_TRUE(MustParse("{}").as_object().empty());
+}
+
+// ------------------------------------------------------------- Writer ----
+
+TEST(JsonWriterTest, CompactRoundTrip) {
+  std::string text =
+      R"({"s":"x","i":3,"d":2.5,"b":true,"n":null,"a":[1,2],"o":{"k":"v"}})";
+  Value v = MustParse(text);
+  EXPECT_EQ(Write(v), text);
+}
+
+TEST(JsonWriterTest, DoubleAlwaysReparsesAsDouble) {
+  Value v(2.0);
+  std::string out = Write(v);
+  EXPECT_EQ(out, "2.0");
+  EXPECT_TRUE(MustParse(out).is_double());
+}
+
+TEST(JsonWriterTest, DoubleRoundTripsPrecisely) {
+  double cases[] = {0.1, 1.0 / 3.0, 1e-300, 12345.6789, -0.0};
+  for (double d : cases) {
+    Value v(d);
+    EXPECT_DOUBLE_EQ(MustParse(Write(v)).as_double(), d);
+  }
+}
+
+TEST(JsonWriterTest, EscapesControlCharacters) {
+  EXPECT_EQ(Write(Value(std::string("a\x01""b"))), "\"a\\u0001b\"");
+  EXPECT_EQ(Write(Value("tab\there")), "\"tab\\there\"");
+}
+
+TEST(JsonWriterTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(Write(Value(std::numeric_limits<double>::infinity())), "null");
+}
+
+TEST(JsonWriterTest, PrettyPrintIndents) {
+  Value v = MustParse(R"({"a": [1]})");
+  std::string pretty = Write(v, {.pretty = true});
+  EXPECT_NE(pretty.find("\n  \"a\""), std::string::npos);
+}
+
+TEST(JsonWriterTest, DeterministicOutputForEqualInput) {
+  std::string text = R"({"z": 1, "a": {"c": [1, 2.5, "x"]}})";
+  EXPECT_EQ(Write(MustParse(text)), Write(MustParse(text)));
+}
+
+}  // namespace
+}  // namespace dj::json

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "json/parser.h"
+#include "ops/dedup/document_dedup.h"
+#include "ops/dedup/granular_dedup.h"
+#include "ops/dedup/minhash.h"
+#include "ops/registry.h"
+#include "workload/generator.h"
+
+namespace dj::ops {
+namespace {
+
+json::Value Config(std::string_view text = "{}") {
+  auto r = json::Parse(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+data::Dataset Texts(std::vector<std::string> texts) {
+  return data::Dataset::FromTexts(std::move(texts));
+}
+
+// ------------------------------------------------------------ minhash ----
+
+TEST(MinHasherTest, IdenticalSetsIdenticalSignatures) {
+  MinHasher hasher(64);
+  std::vector<uint64_t> shingles{1, 2, 3, 4, 5};
+  EXPECT_EQ(hasher.Signature(shingles), hasher.Signature(shingles));
+}
+
+TEST(MinHasherTest, JaccardEstimateTracksTruth) {
+  MinHasher hasher(256);
+  std::vector<uint64_t> a, b;
+  for (uint64_t i = 0; i < 100; ++i) a.push_back(i);
+  for (uint64_t i = 20; i < 120; ++i) b.push_back(i);  // true J = 80/120
+  double est = MinHasher::EstimateJaccard(hasher.Signature(a),
+                                          hasher.Signature(b));
+  EXPECT_NEAR(est, 80.0 / 120.0, 0.12);
+}
+
+TEST(MinHasherTest, DisjointSetsLowSimilarity) {
+  MinHasher hasher(128);
+  std::vector<uint64_t> a{1, 2, 3}, b{100, 200, 300};
+  EXPECT_LT(MinHasher::EstimateJaccard(hasher.Signature(a),
+                                       hasher.Signature(b)),
+            0.15);
+}
+
+TEST(LshTest, BandKeysMatchForEqualSignatures) {
+  MinHasher hasher(64);
+  LshParams params{8, 8};
+  std::vector<uint64_t> shingles{7, 8, 9};
+  EXPECT_EQ(LshBandKeys(hasher.Signature(shingles), params),
+            LshBandKeys(hasher.Signature(shingles), params));
+}
+
+TEST(SimHashTest, SimilarFeatureSetsCloseInHamming) {
+  std::vector<uint64_t> a, b;
+  for (uint64_t i = 0; i < 200; ++i) {
+    a.push_back(i);
+    b.push_back(i);
+  }
+  b[0] = 9999;  // tiny perturbation
+  uint64_t ha = SimHash(a), hb = SimHash(b);
+  EXPECT_LE(HammingDistance64(ha, hb), 6);
+  std::vector<uint64_t> c{50000, 50001, 50002, 50003};
+  EXPECT_GT(HammingDistance64(ha, SimHash(c)), 10);
+}
+
+TEST(UnionFindTest, UnionsAndFinds) {
+  UnionFind uf(5);
+  uf.Union(0, 1);
+  uf.Union(3, 4);
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+  EXPECT_EQ(uf.Find(3), uf.Find(4));
+  EXPECT_NE(uf.Find(0), uf.Find(3));
+  uf.Union(1, 3);
+  EXPECT_EQ(uf.Find(0), uf.Find(4));
+}
+
+// ------------------------------------------------------ exact dedup ----
+
+TEST(DocumentExactDedupTest, KeepsFirstOccurrence) {
+  DocumentExactDeduplicator dedup(Config());
+  data::Dataset ds = Texts({"alpha", "beta", "alpha", "gamma", "beta"});
+  std::vector<DuplicatePair> pairs;
+  auto result = dedup.Deduplicate(std::move(ds), nullptr, &pairs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumRows(), 3u);
+  EXPECT_EQ(result.value().GetTextAt(0), "alpha");
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].kept_row, 0u);
+  EXPECT_EQ(pairs[0].removed_row, 2u);
+  EXPECT_DOUBLE_EQ(pairs[0].similarity, 1.0);
+}
+
+TEST(DocumentExactDedupTest, NormalizationOptions) {
+  DocumentExactDeduplicator loose(Config());
+  auto r1 = loose.Deduplicate(Texts({"Hello World", "hello   world"}),
+                              nullptr, nullptr);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value().NumRows(), 1u);
+
+  DocumentExactDeduplicator strict(
+      Config(R"({"lowercase": false, "ignore_whitespace": false})"));
+  auto r2 = strict.Deduplicate(Texts({"Hello World", "hello   world"}),
+                               nullptr, nullptr);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().NumRows(), 2u);
+}
+
+TEST(DocumentExactDedupTest, WritesDocHashStat) {
+  DocumentExactDeduplicator dedup(Config());
+  data::Dataset ds = Texts({"sample"});
+  auto result = dedup.Deduplicate(std::move(ds), nullptr, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().GetTextAt(0, "stats.doc_hash").size(), 32u);
+}
+
+TEST(DocumentExactDedupTest, ParallelMatchesSequential) {
+  workload::CorpusOptions options;
+  options.num_docs = 200;
+  options.exact_dup_rate = 0.3;
+  options.seed = 5;
+  data::Dataset a = workload::CorpusGenerator(options).Generate();
+  data::Dataset b = a;
+  DocumentExactDeduplicator d1(Config()), d2(Config());
+  ThreadPool pool(4);
+  auto r1 = d1.Deduplicate(std::move(a), nullptr, nullptr);
+  auto r2 = d2.Deduplicate(std::move(b), &pool, nullptr);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().NumRows(), r2.value().NumRows());
+}
+
+// ---------------------------------------------------- minhash dedup ----
+
+TEST(DocumentMinHashDedupTest, CatchesNearDuplicates) {
+  std::string base =
+      "the committee published a detailed report describing the economic "
+      "effects of the policy on rural communities over several years of "
+      "careful observation and data analysis across many regions";
+  DocumentMinHashDeduplicator dedup(Config(R"({"jaccard_threshold": 0.6})"));
+  data::Dataset ds =
+      Texts({base, base + " with one extra sentence appended here",
+             "a completely different document about astronomy and the stars "
+             "observed through telescopes on distant mountains at night"});
+  std::vector<DuplicatePair> pairs;
+  auto result = dedup.Deduplicate(std::move(ds), nullptr, &pairs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumRows(), 2u);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].kept_row, 0u);
+  EXPECT_EQ(pairs[0].removed_row, 1u);
+}
+
+TEST(DocumentMinHashDedupTest, LeavesDistinctDocsAlone) {
+  workload::CorpusOptions options;
+  options.num_docs = 50;
+  options.seed = 77;
+  data::Dataset ds = workload::CorpusGenerator(options).Generate();
+  size_t before = ds.NumRows();
+  DocumentMinHashDeduplicator dedup(Config(R"({"jaccard_threshold": 0.9})"));
+  auto result = dedup.Deduplicate(std::move(ds), nullptr, nullptr);
+  ASSERT_TRUE(result.ok());
+  // Template-generated docs may rarely collide; allow a tiny tolerance.
+  EXPECT_GE(result.value().NumRows(), before - 2);
+}
+
+// ---------------------------------------------------- simhash dedup ----
+
+TEST(DocumentSimHashDedupTest, CatchesNearDuplicates) {
+  std::string base;
+  for (int i = 0; i < 30; ++i) {
+    base += "sentence number " + std::to_string(i) + " about the project. ";
+  }
+  DocumentSimHashDeduplicator dedup(Config(R"({"hamming_threshold": 8})"));
+  data::Dataset ds = Texts({base, base + "tail difference.",
+                            "entirely unrelated words about gardening and "
+                            "flowers in the spring season bloom"});
+  auto result = dedup.Deduplicate(std::move(ds), nullptr, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumRows(), 2u);
+}
+
+// ----------------------------------------------------- ngram overlap ----
+
+TEST(NgramOverlapDedupTest, ExactCopiesRemoved) {
+  NgramOverlapDeduplicator dedup(Config(R"({"jaccard_threshold": 0.8})"));
+  std::string doc = "one two three four five six seven eight nine ten";
+  auto result = dedup.Deduplicate(Texts({doc, doc, "other words entirely "
+                                                   "different from before"}),
+                                  nullptr, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumRows(), 2u);
+}
+
+TEST(NgramOverlapDedupTest, ThresholdControlsAggressiveness) {
+  std::string a = "shared prefix words here then unique ending alpha beta";
+  std::string b = "shared prefix words here then unique ending gamma delta";
+  auto run = [&](double threshold) {
+    json::Object config;
+    config.Set("jaccard_threshold", json::Value(threshold));
+    NgramOverlapDeduplicator dedup{json::Value(config)};
+    auto r = dedup.Deduplicate(Texts({a, b}), nullptr, nullptr);
+    EXPECT_TRUE(r.ok());
+    return r.value().NumRows();
+  };
+  EXPECT_EQ(run(0.95), 2u);  // strict: both survive
+  EXPECT_EQ(run(0.3), 1u);   // loose: near-duplicates collapse
+}
+
+// --------------------------------------------------- granular dedup ----
+
+TEST(ParagraphExactDedupTest, RemovesBoilerplateAcrossDocs) {
+  std::string boiler = workload::CorpusGenerator::BoilerplateParagraph();
+  ParagraphExactDeduplicator dedup(Config());
+  data::Dataset ds = Texts({
+      boiler + "\n\nUnique content of document one.",
+      boiler + "\n\nDifferent content of document two.",
+  });
+  auto result = dedup.Deduplicate(std::move(ds), nullptr, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().NumRows(), 2u);
+  // First doc keeps the boilerplate, second doc loses it.
+  EXPECT_NE(result.value().GetTextAt(0).find("Home | About"),
+            std::string_view::npos);
+  EXPECT_EQ(result.value().GetTextAt(1).find("Home | About"),
+            std::string_view::npos);
+  EXPECT_NE(result.value().GetTextAt(1).find("document two"),
+            std::string_view::npos);
+}
+
+TEST(ParagraphExactDedupTest, DropsFullyDuplicateSamples) {
+  ParagraphExactDeduplicator dedup(Config());
+  data::Dataset ds = Texts({"only paragraph here", "only paragraph here"});
+  std::vector<DuplicatePair> pairs;
+  auto result = dedup.Deduplicate(std::move(ds), nullptr, &pairs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumRows(), 1u);
+  EXPECT_EQ(pairs.size(), 1u);
+}
+
+TEST(SentenceExactDedupTest, RemovesRepeatedSentences) {
+  SentenceExactDeduplicator dedup(Config());
+  data::Dataset ds = Texts({
+      "A shared opening sentence appears here. Unique tail one.",
+      "A shared opening sentence appears here. Unique tail two.",
+  });
+  auto result = dedup.Deduplicate(std::move(ds), nullptr, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().GetTextAt(1), "Unique tail two.");
+}
+
+TEST(GranularDedupTest, ShortUnitsAreExempt) {
+  // Units below min_unit_length are never treated as duplicates.
+  SentenceExactDeduplicator dedup(Config(R"({"min_unit_length": 8})"));
+  data::Dataset ds = Texts({"Yes. More words follow here.",
+                            "Yes. Other words follow here."});
+  auto result = dedup.Deduplicate(std::move(ds), nullptr, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result.value().GetTextAt(1).find("Yes."), std::string_view::npos);
+}
+
+// Sweep: on a corpus with injected duplicates every document-level method
+// removes at least the exact copies and never drops below the unique count.
+class DedupMethodTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DedupMethodTest, RemovesInjectedDuplicates) {
+  workload::CorpusOptions options;
+  options.num_docs = 120;
+  options.exact_dup_rate = 0.25;
+  options.seed = 13;
+  data::Dataset ds = workload::CorpusGenerator(options).Generate();
+  size_t total = ds.NumRows();
+
+  auto op = OpRegistry::Global().Create(GetParam(), Config());
+  ASSERT_TRUE(op.ok());
+  auto* dedup = static_cast<Deduplicator*>(op.value().get());
+  auto result = dedup->Deduplicate(std::move(ds), nullptr, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result.value().NumRows(), total);
+  EXPECT_GT(result.value().NumRows(), total / 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, DedupMethodTest,
+                         ::testing::Values("document_exact_deduplicator",
+                                           "document_minhash_deduplicator",
+                                           "document_simhash_deduplicator",
+                                           "ngram_overlap_deduplicator"));
+
+}  // namespace
+}  // namespace dj::ops

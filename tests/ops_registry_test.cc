@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "data/io.h"
+#include "json/parser.h"
+#include "ops/formatters/formatters.h"
+#include "ops/registry.h"
+
+namespace dj::ops {
+namespace {
+
+json::Value Config(std::string_view text = "{}") {
+  auto r = json::Parse(text);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(OpRegistryTest, HasAllBuiltins) {
+  const OpRegistry& registry = OpRegistry::Global();
+  // Paper: "over 50 built-in operators".
+  EXPECT_GE(registry.Names().size(), 50u);
+}
+
+TEST(OpRegistryTest, CountsPerCategory) {
+  const OpRegistry& registry = OpRegistry::Global();
+  size_t formatters = 0, mappers = 0, filters = 0, dedups = 0;
+  for (const std::string& name : registry.Names()) {
+    auto op = registry.Create(name, Config());
+    ASSERT_TRUE(op.ok()) << name;
+    switch (op.value()->kind()) {
+      case OpKind::kFormatter:
+        ++formatters;
+        break;
+      case OpKind::kMapper:
+        ++mappers;
+        break;
+      case OpKind::kFilter:
+        ++filters;
+        break;
+      case OpKind::kDeduplicator:
+        ++dedups;
+        break;
+    }
+  }
+  EXPECT_EQ(formatters, 6u);
+  EXPECT_EQ(mappers, 20u);
+  EXPECT_EQ(filters, 22u);
+  EXPECT_EQ(dedups, 6u);
+}
+
+TEST(OpRegistryTest, EveryOpInstantiatesWithEmptyConfig) {
+  const OpRegistry& registry = OpRegistry::Global();
+  for (const std::string& name : registry.Names()) {
+    auto op = registry.Create(name, Config());
+    ASSERT_TRUE(op.ok()) << name << ": " << op.status().ToString();
+    EXPECT_EQ(op.value()->name(), name);
+    EXPECT_GT(op.value()->CostEstimate(), 0.0) << name;
+    EXPECT_FALSE(op.value()->Tags().empty()) << name;
+    EXPECT_TRUE(op.value()->config().is_object()) << name;
+  }
+}
+
+TEST(OpRegistryTest, UnknownOpIsNotFound) {
+  auto op = OpRegistry::Global().Create("no_such_op", Config());
+  EXPECT_FALSE(op.ok());
+  EXPECT_EQ(op.status().code(), StatusCode::kNotFound);
+}
+
+TEST(OpRegistryTest, ContainsAndNames) {
+  const OpRegistry& registry = OpRegistry::Global();
+  EXPECT_TRUE(registry.Contains("perplexity_filter"));
+  EXPECT_FALSE(registry.Contains("bogus"));
+}
+
+// The paper's "Advanced Extension" path: users register their own OPs by
+// deriving from the base classes.
+class ShoutMapper : public Mapper {
+ public:
+  explicit ShoutMapper(const json::Value& config)
+      : Mapper("shout_mapper", config) {}
+  Result<std::string> TransformText(std::string_view input,
+                                    SampleContext*) const override {
+    std::string out(input);
+    for (char& c : out) c = static_cast<char>(std::toupper(c));
+    return out;
+  }
+};
+
+TEST(OpRegistryTest, CustomOpRegistration) {
+  OpRegistry registry;
+  registry.Register("shout_mapper",
+                    [](const json::Value& config) -> Result<std::unique_ptr<Op>> {
+                      return std::unique_ptr<Op>(new ShoutMapper(config));
+                    });
+  auto op = registry.Create("shout_mapper", Config());
+  ASSERT_TRUE(op.ok());
+  auto* mapper = static_cast<Mapper*>(op.value().get());
+  SampleContext ctx("hi");
+  EXPECT_EQ(mapper->TransformText("hi", &ctx).value(), "HI");
+}
+
+TEST(OpRegistryTest, ReRegisterReplaces) {
+  OpRegistry registry;
+  registry.Register("op", [](const json::Value& c) -> Result<std::unique_ptr<Op>> {
+    return std::unique_ptr<Op>(new ShoutMapper(c));
+  });
+  registry.Register("op", [](const json::Value&) -> Result<std::unique_ptr<Op>> {
+    return Status::Internal("replaced");
+  });
+  EXPECT_EQ(registry.Names().size(), 1u);
+  EXPECT_FALSE(registry.Create("op", Config()).ok());
+}
+
+// ----------------------------------------------------------- formatters --
+
+TEST(FormatterTest, JsonlFormatter) {
+  JsonlFormatter f(Config());
+  auto ds = f.LoadFromString("{\"text\": \"a\"}\n{\"text\": \"b\"}\n", "mem");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds.value().NumRows(), 2u);
+}
+
+TEST(FormatterTest, JsonFormatterArrayAndObject) {
+  JsonFormatter f(Config());
+  auto arr = f.LoadFromString(R"([{"text": "a"}, {"text": "b"}])", "mem");
+  ASSERT_TRUE(arr.ok());
+  EXPECT_EQ(arr.value().NumRows(), 2u);
+  auto obj = f.LoadFromString(R"({"text": "solo"})", "mem");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj.value().NumRows(), 1u);
+  EXPECT_FALSE(f.LoadFromString("[1, 2]", "mem").ok());
+}
+
+TEST(FormatterTest, TxtFormatterWholeAndPerLine) {
+  TxtFormatter whole(Config());
+  auto w = whole.LoadFromString("line1\nline2\n", "f.txt");
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.value().NumRows(), 1u);
+  TxtFormatter per_line(Config(R"({"per_line": true})"));
+  auto p = per_line.LoadFromString("line1\n\nline2\n", "f.txt");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().NumRows(), 2u);
+  EXPECT_EQ(p.value().GetTextAt(0, "meta.source"), "f.txt");
+}
+
+TEST(FormatterTest, CsvFormatterWithQuoting) {
+  CsvFormatter f(Config());
+  auto ds = f.LoadFromString(
+      "text,stars,lang\n\"hello, world\",120,en\nplain,3,de\n", "x.csv");
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds.value().NumRows(), 2u);
+  EXPECT_EQ(ds.value().GetTextAt(0), "hello, world");
+  EXPECT_EQ(ds.value().GetNumberAt(0, "meta.stars"), 120.0);
+  EXPECT_EQ(ds.value().GetTextAt(1, "meta.lang"), "de");
+}
+
+TEST(FormatterTest, CsvFormatterRejectsRaggedRows) {
+  CsvFormatter f(Config());
+  EXPECT_FALSE(f.LoadFromString("a,b\n1\n", "x.csv").ok());
+}
+
+TEST(FormatterTest, TsvFormatter) {
+  TsvFormatter f(Config());
+  auto ds = f.LoadFromString("text\tn\nhello\t1\n", "x.tsv");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds.value().GetTextAt(0), "hello");
+}
+
+TEST(FormatterTest, CodeFormatterDetectsLanguage) {
+  CodeFormatter f(Config());
+  auto ds = f.LoadFromString("def f():\n  pass\n", "tool/run.py");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds.value().GetTextAt(0, "meta.language"), "python");
+  EXPECT_EQ(ds.value().GetTextAt(0, "meta.suffix"), ".py");
+}
+
+TEST(FormatterTest, LoadDatasetDispatchesOnSuffix) {
+  std::string dir = ::testing::TempDir() + "/dj_fmt_test";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(
+      data::WriteFile(dir + "/d.jsonl", "{\"text\": \"from jsonl\"}\n").ok());
+  ASSERT_TRUE(data::WriteFile(dir + "/d.txt", "from txt").ok());
+  ASSERT_TRUE(data::WriteFile(dir + "/d.cpp", "int main() {}").ok());
+  auto jsonl = LoadDataset(dir + "/d.jsonl");
+  ASSERT_TRUE(jsonl.ok());
+  EXPECT_EQ(jsonl.value().GetTextAt(0), "from jsonl");
+  auto txt = LoadDataset(dir + "/d.txt");
+  ASSERT_TRUE(txt.ok());
+  EXPECT_EQ(txt.value().GetTextAt(0), "from txt");
+  auto code = LoadDataset(dir + "/d.cpp");
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(code.value().GetTextAt(0, "meta.language"), "cpp");
+  EXPECT_FALSE(LoadDataset(dir + "/missing.jsonl").ok());
+}
+
+}  // namespace
+}  // namespace dj::ops

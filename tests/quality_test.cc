@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "quality/hashing_tf.h"
+#include "quality/logistic_regression.h"
+#include "quality/quality_classifier.h"
+#include "workload/generator.h"
+
+namespace dj::quality {
+namespace {
+
+// ----------------------------------------------------------- HashingTf ----
+
+TEST(HashingTfTest, DeterministicAndSorted) {
+  HashingTf tf(1 << 12);
+  SparseVector a = tf.TransformText("alpha beta gamma alpha");
+  SparseVector b = tf.TransformText("alpha beta gamma alpha");
+  EXPECT_EQ(a.indices, b.indices);
+  EXPECT_EQ(a.values, b.values);
+  for (size_t i = 1; i < a.indices.size(); ++i) {
+    EXPECT_LT(a.indices[i - 1], a.indices[i]);
+  }
+}
+
+TEST(HashingTfTest, L2Normalized) {
+  HashingTf tf;
+  SparseVector v = tf.TransformText("one two three two");
+  double norm = 0;
+  for (float x : v.values) norm += x * x;
+  EXPECT_NEAR(norm, 1.0, 1e-6);
+}
+
+TEST(HashingTfTest, CaseInsensitiveTokens) {
+  HashingTf tf;
+  SparseVector a = tf.TransformText("Word WORD word");
+  EXPECT_EQ(a.nnz(), 1u);
+}
+
+TEST(HashingTfTest, IndicesWithinFeatureSpace) {
+  HashingTf tf(64);
+  SparseVector v = tf.TransformText("many different words in a small space");
+  for (uint32_t idx : v.indices) EXPECT_LT(idx, 64u);
+}
+
+TEST(HashingTfTest, EmptyText) {
+  HashingTf tf;
+  EXPECT_EQ(tf.TransformText("").nnz(), 0u);
+}
+
+// ------------------------------------------------- LogisticRegression ----
+
+TEST(LogisticRegressionTest, LearnsLinearlySeparableData) {
+  HashingTf tf(1 << 10);
+  std::vector<SparseVector> features;
+  std::vector<int> labels;
+  for (int i = 0; i < 50; ++i) {
+    features.push_back(tf.TransformText("good clean quality prose writing"));
+    labels.push_back(1);
+    features.push_back(tf.TransformText("spam junk noise garbage clutter"));
+    labels.push_back(0);
+  }
+  LogisticRegression lr(LogisticRegression::Options{1 << 10, 10, 0.5, 1e-6, 1});
+  lr.Train(features, labels);
+  EXPECT_TRUE(lr.trained());
+  EXPECT_GT(lr.Predict(tf.TransformText("clean quality writing")), 0.8);
+  EXPECT_LT(lr.Predict(tf.TransformText("junk garbage noise")), 0.2);
+}
+
+TEST(LogisticRegressionTest, DeterministicTraining) {
+  HashingTf tf(1 << 8);
+  std::vector<SparseVector> features{tf.TransformText("a b"),
+                                     tf.TransformText("c d")};
+  std::vector<int> labels{1, 0};
+  LogisticRegression lr1, lr2;
+  lr1.Train(features, labels);
+  lr2.Train(features, labels);
+  EXPECT_EQ(lr1.bias(), lr2.bias());
+}
+
+TEST(LogisticRegressionTest, UntrainedPredictsHalf) {
+  LogisticRegression lr;
+  HashingTf tf;
+  EXPECT_DOUBLE_EQ(lr.Predict(tf.TransformText("anything")), 0.5);
+}
+
+// --------------------------------------------------- QualityClassifier ----
+
+class TrainedClassifierTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    classifier_ = new QualityClassifier();
+    Rng rng(7);
+    std::vector<std::string> positives, negatives;
+    workload::CorpusOptions wiki;
+    wiki.style = workload::Style::kWiki;
+    wiki.num_docs = 120;
+    wiki.seed = 1;
+    data::Dataset pos = workload::CorpusGenerator(wiki).Generate();
+    for (size_t i = 0; i < pos.NumRows(); ++i) {
+      positives.emplace_back(pos.GetTextAt(i));
+    }
+    workload::CorpusOptions crawl;
+    crawl.style = workload::Style::kCrawl;
+    crawl.num_docs = 120;
+    crawl.seed = 2;
+    data::Dataset neg = workload::CorpusGenerator(crawl).Generate();
+    for (size_t i = 0; i < neg.NumRows(); ++i) {
+      negatives.emplace_back(neg.GetTextAt(i));
+    }
+    classifier_->Train(positives, negatives);
+  }
+  static void TearDownTestSuite() {
+    delete classifier_;
+    classifier_ = nullptr;
+  }
+  static QualityClassifier* classifier_;
+};
+
+QualityClassifier* TrainedClassifierTest::classifier_ = nullptr;
+
+TEST_F(TrainedClassifierTest, SeparatesHeldOutData) {
+  workload::CorpusOptions wiki;
+  wiki.style = workload::Style::kWiki;
+  wiki.num_docs = 40;
+  wiki.seed = 31;
+  data::Dataset pos = workload::CorpusGenerator(wiki).Generate();
+  workload::CorpusOptions crawl;
+  crawl.style = workload::Style::kCrawl;
+  crawl.num_docs = 40;
+  crawl.seed = 32;
+  data::Dataset neg = workload::CorpusGenerator(crawl).Generate();
+  std::vector<std::string> texts;
+  std::vector<int> labels;
+  for (size_t i = 0; i < pos.NumRows(); ++i) {
+    texts.emplace_back(pos.GetTextAt(i));
+    labels.push_back(1);
+  }
+  for (size_t i = 0; i < neg.NumRows(); ++i) {
+    texts.emplace_back(neg.GetTextAt(i));
+    labels.push_back(0);
+  }
+  ClassifierMetrics m = classifier_->Evaluate(texts, labels);
+  EXPECT_GT(m.f1, 0.9);
+  EXPECT_GT(m.precision, 0.85);
+  EXPECT_GT(m.recall, 0.85);
+}
+
+TEST_F(TrainedClassifierTest, LabelKeepRule) {
+  Rng rng(3);
+  EXPECT_TRUE(classifier_->Keep(0.9, KeepMethod::kLabel, &rng));
+  EXPECT_FALSE(classifier_->Keep(0.3, KeepMethod::kLabel, &rng));
+}
+
+TEST_F(TrainedClassifierTest, ParetoKeepRuleAdmitsSomeLowScores) {
+  // pareto(9): 1 - p is usually close to 1, but not always — some
+  // low-score docs survive (that is the point of the GPT-3 rule).
+  Rng rng(4);
+  int kept_low = 0, kept_high = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (classifier_->Keep(0.2, KeepMethod::kPareto, &rng)) ++kept_low;
+    if (classifier_->Keep(0.95, KeepMethod::kPareto, &rng)) ++kept_high;
+  }
+  EXPECT_GT(kept_low, 0);
+  EXPECT_LT(kept_low, 1500);
+  EXPECT_GT(kept_high, 2500);
+}
+
+TEST(QualityClassifierTest, DefaultGpt3ScoresProseAboveSpam) {
+  const QualityClassifier& c = QualityClassifier::DefaultGpt3();
+  EXPECT_TRUE(c.trained());
+  double prose = c.Score(
+      "The study describes the economic effects of the policy on rural "
+      "communities over several years.");
+  double spam = c.Score("click here casino jackpot viagra free money now");
+  EXPECT_GT(prose, spam);
+  EXPECT_GT(prose, 0.5);
+  EXPECT_LT(spam, 0.5);
+}
+
+TEST(QualityClassifierTest, SerializeRoundTripPreservesScores) {
+  const QualityClassifier& original = QualityClassifier::DefaultGpt3();
+  std::string blob = original.Serialize();
+  auto restored = QualityClassifier::Deserialize(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(restored.value().trained());
+  for (std::string_view text :
+       {"The committee published a detailed report on the policy.",
+        "click here casino jackpot free money", "short"}) {
+    EXPECT_NEAR(restored.value().Score(text), original.Score(text), 1e-6)
+        << text;
+  }
+}
+
+TEST(QualityClassifierTest, DeserializeRejectsCorruption) {
+  std::string blob = QualityClassifier::DefaultGpt3().Serialize();
+  EXPECT_FALSE(QualityClassifier::Deserialize("nope").ok());
+  EXPECT_FALSE(
+      QualityClassifier::Deserialize(blob.substr(0, blob.size() - 2)).ok());
+}
+
+TEST(QualityClassifierTest, EvaluateEmptyIsZero) {
+  QualityClassifier c;
+  ClassifierMetrics m = c.Evaluate({}, {});
+  EXPECT_EQ(m.num_eval, 0u);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+}  // namespace
+}  // namespace dj::quality

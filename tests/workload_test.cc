@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+#include "workload/generator.h"
+
+namespace dj::workload {
+namespace {
+
+TEST(CorpusGeneratorTest, DeterministicFromSeed) {
+  CorpusOptions options;
+  options.num_docs = 20;
+  options.seed = 9;
+  data::Dataset a = CorpusGenerator(options).Generate();
+  data::Dataset b = CorpusGenerator(options).Generate();
+  ASSERT_EQ(a.NumRows(), b.NumRows());
+  for (size_t i = 0; i < a.NumRows(); ++i) {
+    EXPECT_EQ(a.GetTextAt(i), b.GetTextAt(i));
+  }
+  options.seed = 10;
+  data::Dataset c = CorpusGenerator(options).Generate();
+  EXPECT_NE(a.GetTextAt(0), c.GetTextAt(0));
+}
+
+TEST(CorpusGeneratorTest, MetaFieldsPopulated) {
+  CorpusOptions options;
+  options.style = Style::kCode;
+  options.num_docs = 5;
+  data::Dataset ds = CorpusGenerator(options).Generate();
+  EXPECT_EQ(ds.GetTextAt(0, "meta.source"), "code");
+  EXPECT_EQ(ds.GetTextAt(0, "meta.language"), "cpp");
+  EXPECT_GE(ds.GetNumberAt(0, "meta.stars", -1), 0.0);
+}
+
+TEST(CorpusGeneratorTest, ExactDupRateInjectsDuplicates) {
+  CorpusOptions options;
+  options.num_docs = 300;
+  options.exact_dup_rate = 0.3;
+  options.seed = 12;
+  data::Dataset ds = CorpusGenerator(options).Generate();
+  std::set<std::string> unique;
+  for (size_t i = 0; i < ds.NumRows(); ++i) {
+    unique.insert(std::string(ds.GetTextAt(i)));
+  }
+  double dup_fraction =
+      1.0 - static_cast<double>(unique.size()) / ds.NumRows();
+  EXPECT_NEAR(dup_fraction, 0.3, 0.08);
+}
+
+TEST(CorpusGeneratorTest, SpamRateInjectsFlaggedWords) {
+  CorpusOptions options;
+  options.num_docs = 100;
+  options.spam_rate = 1.0;
+  options.seed = 13;
+  data::Dataset ds = CorpusGenerator(options).Generate();
+  size_t spammy = 0;
+  for (size_t i = 0; i < ds.NumRows(); ++i) {
+    if (Contains(ds.GetTextAt(i), "click here")) ++spammy;
+  }
+  EXPECT_EQ(spammy, ds.NumRows());
+}
+
+TEST(CorpusGeneratorTest, ArxivStyleHasLatexStructure) {
+  CorpusOptions options;
+  options.style = Style::kArxiv;
+  options.num_docs = 3;
+  data::Dataset ds = CorpusGenerator(options).Generate();
+  std::string_view doc = ds.GetTextAt(0);
+  EXPECT_TRUE(Contains(doc, "\\documentclass"));
+  EXPECT_TRUE(Contains(doc, "\\begin{document}"));
+  EXPECT_TRUE(Contains(doc, "\\begin{thebibliography}"));
+}
+
+TEST(CorpusGeneratorTest, ChineseStyleIsCjk) {
+  CorpusOptions options;
+  options.style = Style::kChinese;
+  options.num_docs = 2;
+  data::Dataset ds = CorpusGenerator(options).Generate();
+  EXPECT_EQ(ds.GetTextAt(0, "meta.lang"), "zh");
+  // Contains CJK bytes (0xE4-0xE9 lead bytes).
+  std::string_view doc = ds.GetTextAt(0);
+  EXPECT_TRUE(doc.find('\xe7') != std::string_view::npos ||
+              doc.find('\xe5') != std::string_view::npos);
+}
+
+TEST(CorpusGeneratorTest, MeanWordsRoughlyRespected) {
+  CorpusOptions options;
+  options.num_docs = 20;
+  options.mean_words = 300;
+  options.seed = 14;
+  data::Dataset ds = CorpusGenerator(options).Generate();
+  uint64_t total = 0;
+  for (size_t i = 0; i < ds.NumRows(); ++i) {
+    total += text::CountWords(ds.GetTextAt(i));
+  }
+  double mean = static_cast<double>(total) / ds.NumRows();
+  EXPECT_GT(mean, 250);
+  EXPECT_LT(mean, 450);
+}
+
+TEST(GenerateCorpusWithTokensTest, HitsTokenTarget) {
+  data::Dataset ds = GenerateCorpusWithTokens(Style::kWiki, 50000, 15);
+  uint64_t total = 0;
+  for (size_t i = 0; i < ds.NumRows(); ++i) {
+    total += text::CountWords(ds.GetTextAt(i));
+  }
+  EXPECT_GT(total, 35000u);
+  EXPECT_LT(total, 90000u);
+}
+
+TEST(InstructionGeneratorTest, TripletStructure) {
+  InstructionOptions options;
+  options.num_samples = 10;
+  data::Dataset ds = GenerateInstructionDataset(options);
+  EXPECT_EQ(ds.NumRows(), 10u);
+  EXPECT_FALSE(ds.GetTextAt(0, "text.instruction").empty());
+  EXPECT_FALSE(ds.GetTextAt(0, "text.output").empty());
+  EXPECT_EQ(ds.GetTextAt(0, "meta.usage"), "SFT");
+  EXPECT_EQ(ds.GetTextAt(0, "meta.lang"), "EN");
+}
+
+TEST(InstructionGeneratorTest, LowQualityRateProducesWeakOutputs) {
+  InstructionOptions options;
+  options.num_samples = 200;
+  options.low_quality_rate = 0.5;
+  options.seed = 16;
+  data::Dataset ds = GenerateInstructionDataset(options);
+  size_t low = 0;
+  for (size_t i = 0; i < ds.NumRows(); ++i) {
+    if (ds.GetTextAt(i, "meta.quality_label") == "low") ++low;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / ds.NumRows(), 0.5, 0.1);
+}
+
+TEST(InstructionGeneratorTest, DupRateRepeatsInstructions) {
+  InstructionOptions options;
+  options.num_samples = 200;
+  options.dup_rate = 0.4;
+  options.seed = 17;
+  data::Dataset ds = GenerateInstructionDataset(options);
+  std::set<std::string> unique;
+  for (size_t i = 0; i < ds.NumRows(); ++i) {
+    unique.insert(std::string(ds.GetTextAt(i, "text.instruction")));
+  }
+  EXPECT_LT(unique.size(), 150u);
+}
+
+TEST(SyntheticCodeTest, QualityKnobChangesStyle) {
+  Rng rng1(1), rng2(1);
+  std::string good = SyntheticCodeDocument(&rng1, 200, true);
+  std::string bad = SyntheticCodeDocument(&rng2, 200, false);
+  EXPECT_TRUE(Contains(good, "Copyright"));
+  EXPECT_FALSE(Contains(bad, "Copyright"));
+}
+
+TEST(StyleNameTest, AllStylesNamed) {
+  for (Style s : {Style::kWiki, Style::kBooks, Style::kArxiv,
+                  Style::kStackExchange, Style::kCode, Style::kWeb,
+                  Style::kCrawl, Style::kChinese}) {
+    EXPECT_STRNE(StyleName(s), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace dj::workload

@@ -1,0 +1,151 @@
+// dj_process: zero-code recipe runner (the paper's "Zero-Code Processing"
+// path, Sec. 6.3). Loads a dataset, runs a recipe, exports the result, and
+// prints the per-OP report plus an optional trace summary.
+//
+// Usage:
+//   dj_process --recipe recipe.yaml [--input in.jsonl] [--output out.jsonl]
+//              [--np N] [--fusion] [--trace] [--cache-dir DIR]
+//
+// --input/--output override the recipe's dataset_path/export_path.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/executor.h"
+#include "core/tracer.h"
+#include "data/io.h"
+#include "ops/formatters/formatters.h"
+#include "ops/registry.h"
+
+namespace {
+
+struct Args {
+  std::string recipe_path;
+  std::string input;
+  std::string output;
+  int np = 0;  // 0 = use recipe value
+  bool fusion = false;
+  bool trace = false;
+  std::string cache_dir;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --recipe recipe.yaml [--input in.jsonl] "
+               "[--output out.jsonl] [--np N] [--fusion] [--trace] "
+               "[--cache-dir DIR]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--recipe") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->recipe_path = v;
+    } else if (flag == "--input") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->input = v;
+    } else if (flag == "--output") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->output = v;
+    } else if (flag == "--np") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->np = std::atoi(v);
+    } else if (flag == "--fusion") {
+      args->fusion = true;
+    } else if (flag == "--trace") {
+      args->trace = true;
+    } else if (flag == "--cache-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->cache_dir = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return !args->recipe_path.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+
+  auto recipe = dj::core::Recipe::FromFile(args.recipe_path);
+  if (!recipe.ok()) {
+    std::fprintf(stderr, "recipe error: %s\n",
+                 recipe.status().ToString().c_str());
+    return 1;
+  }
+  if (!args.input.empty()) recipe.value().dataset_path = args.input;
+  if (!args.output.empty()) recipe.value().export_path = args.output;
+  if (args.np > 0) recipe.value().num_workers = args.np;
+  if (args.fusion) {
+    recipe.value().op_fusion = true;
+    recipe.value().op_reorder = true;
+  }
+  if (!args.cache_dir.empty()) {
+    recipe.value().use_cache = true;
+    recipe.value().cache_dir = args.cache_dir;
+  }
+  if (recipe.value().dataset_path.empty()) {
+    std::fprintf(stderr, "no input: set --input or dataset_path\n");
+    return 1;
+  }
+
+  auto dataset = dj::ops::LoadDataset(recipe.value().dataset_path);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "load error: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu samples from %s\n", dataset.value().NumRows(),
+              recipe.value().dataset_path.c_str());
+
+  auto ops = dj::core::BuildOps(recipe.value(), dj::ops::OpRegistry::Global());
+  if (!ops.ok()) {
+    std::fprintf(stderr, "pipeline error: %s\n",
+                 ops.status().ToString().c_str());
+    return 1;
+  }
+
+  dj::core::Tracer tracer(10);
+  dj::core::Executor::Options options =
+      dj::core::Executor::OptionsFromRecipe(recipe.value());
+  if (args.trace) options.tracer = &tracer;
+  dj::core::Executor executor(options);
+  dj::core::RunReport report;
+  auto refined =
+      executor.Run(std::move(dataset).value(), ops.value(), &report);
+  if (!refined.ok()) {
+    std::fprintf(stderr, "run error: %s\n",
+                 refined.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", report.ToString().c_str());
+  if (args.trace) std::printf("\n%s", tracer.Summary().c_str());
+
+  if (!recipe.value().export_path.empty()) {
+    if (auto s = dj::data::WriteJsonl(refined.value(),
+                                      recipe.value().export_path);
+        !s.ok()) {
+      std::fprintf(stderr, "export error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("exported %zu samples to %s\n", refined.value().NumRows(),
+                recipe.value().export_path.c_str());
+  }
+  return 0;
+}
