@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_space_model.dir/bench_appendix_space_model.cc.o"
+  "CMakeFiles/bench_appendix_space_model.dir/bench_appendix_space_model.cc.o.d"
+  "bench_appendix_space_model"
+  "bench_appendix_space_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_space_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

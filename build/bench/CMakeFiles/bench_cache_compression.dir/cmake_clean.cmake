@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cache_compression.dir/bench_cache_compression.cc.o"
+  "CMakeFiles/bench_cache_compression.dir/bench_cache_compression.cc.o.d"
+  "bench_cache_compression"
+  "bench_cache_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

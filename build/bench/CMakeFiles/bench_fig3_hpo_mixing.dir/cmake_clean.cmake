@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_hpo_mixing.dir/bench_fig3_hpo_mixing.cc.o"
+  "CMakeFiles/bench_fig3_hpo_mixing.dir/bench_fig3_hpo_mixing.cc.o.d"
+  "bench_fig3_hpo_mixing"
+  "bench_fig3_hpo_mixing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_hpo_mixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_pretrain_recipes.dir/bench_fig7_pretrain_recipes.cc.o"
+  "CMakeFiles/bench_fig7_pretrain_recipes.dir/bench_fig7_pretrain_recipes.cc.o.d"
+  "bench_fig7_pretrain_recipes"
+  "bench_fig7_pretrain_recipes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_pretrain_recipes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

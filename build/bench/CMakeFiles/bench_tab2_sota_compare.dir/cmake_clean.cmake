@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_sota_compare.dir/bench_tab2_sota_compare.cc.o"
+  "CMakeFiles/bench_tab2_sota_compare.dir/bench_tab2_sota_compare.cc.o.d"
+  "bench_tab2_sota_compare"
+  "bench_tab2_sota_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_sota_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

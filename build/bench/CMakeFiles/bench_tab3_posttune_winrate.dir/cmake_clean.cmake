@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_posttune_winrate.dir/bench_tab3_posttune_winrate.cc.o"
+  "CMakeFiles/bench_tab3_posttune_winrate.dir/bench_tab3_posttune_winrate.cc.o.d"
+  "bench_tab3_posttune_winrate"
+  "bench_tab3_posttune_winrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_posttune_winrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_quality_classifier.dir/bench_tab4_quality_classifier.cc.o"
+  "CMakeFiles/bench_tab4_quality_classifier.dir/bench_tab4_quality_classifier.cc.o.d"
+  "bench_tab4_quality_classifier"
+  "bench_tab4_quality_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_quality_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

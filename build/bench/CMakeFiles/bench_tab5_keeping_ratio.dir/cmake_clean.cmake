@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_keeping_ratio.dir/bench_tab5_keeping_ratio.cc.o"
+  "CMakeFiles/bench_tab5_keeping_ratio.dir/bench_tab5_keeping_ratio.cc.o.d"
+  "bench_tab5_keeping_ratio"
+  "bench_tab5_keeping_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_keeping_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyzer_probe.dir/analyzer_probe.cc.o"
+  "CMakeFiles/analyzer_probe.dir/analyzer_probe.cc.o.d"
+  "analyzer_probe"
+  "analyzer_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyzer_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

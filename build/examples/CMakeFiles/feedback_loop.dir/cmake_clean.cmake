@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_loop.dir/feedback_loop.cc.o"
+  "CMakeFiles/feedback_loop.dir/feedback_loop.cc.o.d"
+  "feedback_loop"
+  "feedback_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpo_mixing.dir/hpo_mixing.cc.o"
+  "CMakeFiles/hpo_mixing.dir/hpo_mixing.cc.o.d"
+  "hpo_mixing"
+  "hpo_mixing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpo_mixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posttune_pipeline.dir/posttune_pipeline.cc.o"
+  "CMakeFiles/posttune_pipeline.dir/posttune_pipeline.cc.o.d"
+  "posttune_pipeline"
+  "posttune_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posttune_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

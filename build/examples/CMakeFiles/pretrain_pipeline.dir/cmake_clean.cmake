@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pretrain_pipeline.dir/pretrain_pipeline.cc.o"
+  "CMakeFiles/pretrain_pipeline.dir/pretrain_pipeline.cc.o.d"
+  "pretrain_pipeline"
+  "pretrain_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pretrain_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

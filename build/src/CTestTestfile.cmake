@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("json")
+subdirs("yaml")
+subdirs("compress")
+subdirs("data")
+subdirs("text")
+subdirs("quality")
+subdirs("ops")
+subdirs("core")
+subdirs("analysis")
+subdirs("hpo")
+subdirs("eval")
+subdirs("dist")
+subdirs("baseline")
+subdirs("workload")

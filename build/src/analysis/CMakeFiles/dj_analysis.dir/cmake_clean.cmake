@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_analysis.dir/analyzer.cc.o"
+  "CMakeFiles/dj_analysis.dir/analyzer.cc.o.d"
+  "CMakeFiles/dj_analysis.dir/histogram.cc.o"
+  "CMakeFiles/dj_analysis.dir/histogram.cc.o.d"
+  "CMakeFiles/dj_analysis.dir/sampler.cc.o"
+  "CMakeFiles/dj_analysis.dir/sampler.cc.o.d"
+  "libdj_analysis.a"
+  "libdj_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

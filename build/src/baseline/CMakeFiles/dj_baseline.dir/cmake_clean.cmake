@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_baseline.dir/naive_pipeline.cc.o"
+  "CMakeFiles/dj_baseline.dir/naive_pipeline.cc.o.d"
+  "libdj_baseline.a"
+  "libdj_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

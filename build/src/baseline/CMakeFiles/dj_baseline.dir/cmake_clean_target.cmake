@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdj_baseline.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_common.dir/hash.cc.o"
+  "CMakeFiles/dj_common.dir/hash.cc.o.d"
+  "CMakeFiles/dj_common.dir/logging.cc.o"
+  "CMakeFiles/dj_common.dir/logging.cc.o.d"
+  "CMakeFiles/dj_common.dir/random.cc.o"
+  "CMakeFiles/dj_common.dir/random.cc.o.d"
+  "CMakeFiles/dj_common.dir/resource_monitor.cc.o"
+  "CMakeFiles/dj_common.dir/resource_monitor.cc.o.d"
+  "CMakeFiles/dj_common.dir/status.cc.o"
+  "CMakeFiles/dj_common.dir/status.cc.o.d"
+  "CMakeFiles/dj_common.dir/string_util.cc.o"
+  "CMakeFiles/dj_common.dir/string_util.cc.o.d"
+  "CMakeFiles/dj_common.dir/thread_pool.cc.o"
+  "CMakeFiles/dj_common.dir/thread_pool.cc.o.d"
+  "libdj_common.a"
+  "libdj_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_compress.dir/djlz.cc.o"
+  "CMakeFiles/dj_compress.dir/djlz.cc.o.d"
+  "libdj_compress.a"
+  "libdj_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

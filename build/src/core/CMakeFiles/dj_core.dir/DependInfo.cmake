@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache_manager.cc" "src/core/CMakeFiles/dj_core.dir/cache_manager.cc.o" "gcc" "src/core/CMakeFiles/dj_core.dir/cache_manager.cc.o.d"
+  "/root/repo/src/core/checkpoint.cc" "src/core/CMakeFiles/dj_core.dir/checkpoint.cc.o" "gcc" "src/core/CMakeFiles/dj_core.dir/checkpoint.cc.o.d"
+  "/root/repo/src/core/executor.cc" "src/core/CMakeFiles/dj_core.dir/executor.cc.o" "gcc" "src/core/CMakeFiles/dj_core.dir/executor.cc.o.d"
+  "/root/repo/src/core/fusion.cc" "src/core/CMakeFiles/dj_core.dir/fusion.cc.o" "gcc" "src/core/CMakeFiles/dj_core.dir/fusion.cc.o.d"
+  "/root/repo/src/core/recipe.cc" "src/core/CMakeFiles/dj_core.dir/recipe.cc.o" "gcc" "src/core/CMakeFiles/dj_core.dir/recipe.cc.o.d"
+  "/root/repo/src/core/space_model.cc" "src/core/CMakeFiles/dj_core.dir/space_model.cc.o" "gcc" "src/core/CMakeFiles/dj_core.dir/space_model.cc.o.d"
+  "/root/repo/src/core/tracer.cc" "src/core/CMakeFiles/dj_core.dir/tracer.cc.o" "gcc" "src/core/CMakeFiles/dj_core.dir/tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops/CMakeFiles/dj_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/yaml/CMakeFiles/dj_yaml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dj_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/dj_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/dj_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/dj_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dj_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

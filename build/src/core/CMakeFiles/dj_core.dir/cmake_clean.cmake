@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_core.dir/cache_manager.cc.o"
+  "CMakeFiles/dj_core.dir/cache_manager.cc.o.d"
+  "CMakeFiles/dj_core.dir/checkpoint.cc.o"
+  "CMakeFiles/dj_core.dir/checkpoint.cc.o.d"
+  "CMakeFiles/dj_core.dir/executor.cc.o"
+  "CMakeFiles/dj_core.dir/executor.cc.o.d"
+  "CMakeFiles/dj_core.dir/fusion.cc.o"
+  "CMakeFiles/dj_core.dir/fusion.cc.o.d"
+  "CMakeFiles/dj_core.dir/recipe.cc.o"
+  "CMakeFiles/dj_core.dir/recipe.cc.o.d"
+  "CMakeFiles/dj_core.dir/space_model.cc.o"
+  "CMakeFiles/dj_core.dir/space_model.cc.o.d"
+  "CMakeFiles/dj_core.dir/tracer.cc.o"
+  "CMakeFiles/dj_core.dir/tracer.cc.o.d"
+  "libdj_core.a"
+  "libdj_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_data.dir/dataset.cc.o"
+  "CMakeFiles/dj_data.dir/dataset.cc.o.d"
+  "CMakeFiles/dj_data.dir/io.cc.o"
+  "CMakeFiles/dj_data.dir/io.cc.o.d"
+  "CMakeFiles/dj_data.dir/path.cc.o"
+  "CMakeFiles/dj_data.dir/path.cc.o.d"
+  "CMakeFiles/dj_data.dir/sample.cc.o"
+  "CMakeFiles/dj_data.dir/sample.cc.o.d"
+  "libdj_data.a"
+  "libdj_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

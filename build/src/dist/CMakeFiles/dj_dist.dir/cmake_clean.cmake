@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_dist.dir/cluster.cc.o"
+  "CMakeFiles/dj_dist.dir/cluster.cc.o.d"
+  "CMakeFiles/dj_dist.dir/distributed_executor.cc.o"
+  "CMakeFiles/dj_dist.dir/distributed_executor.cc.o.d"
+  "libdj_dist.a"
+  "libdj_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/benchmarks.cc" "src/eval/CMakeFiles/dj_eval.dir/benchmarks.cc.o" "gcc" "src/eval/CMakeFiles/dj_eval.dir/benchmarks.cc.o.d"
+  "/root/repo/src/eval/judge.cc" "src/eval/CMakeFiles/dj_eval.dir/judge.cc.o" "gcc" "src/eval/CMakeFiles/dj_eval.dir/judge.cc.o.d"
+  "/root/repo/src/eval/leaderboard.cc" "src/eval/CMakeFiles/dj_eval.dir/leaderboard.cc.o" "gcc" "src/eval/CMakeFiles/dj_eval.dir/leaderboard.cc.o.d"
+  "/root/repo/src/eval/model_store.cc" "src/eval/CMakeFiles/dj_eval.dir/model_store.cc.o" "gcc" "src/eval/CMakeFiles/dj_eval.dir/model_store.cc.o.d"
+  "/root/repo/src/eval/scaling.cc" "src/eval/CMakeFiles/dj_eval.dir/scaling.cc.o" "gcc" "src/eval/CMakeFiles/dj_eval.dir/scaling.cc.o.d"
+  "/root/repo/src/eval/trainer.cc" "src/eval/CMakeFiles/dj_eval.dir/trainer.cc.o" "gcc" "src/eval/CMakeFiles/dj_eval.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/dj_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/dj_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dj_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dj_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/dj_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/dj_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

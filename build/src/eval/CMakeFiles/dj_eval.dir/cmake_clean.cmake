@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_eval.dir/benchmarks.cc.o"
+  "CMakeFiles/dj_eval.dir/benchmarks.cc.o.d"
+  "CMakeFiles/dj_eval.dir/judge.cc.o"
+  "CMakeFiles/dj_eval.dir/judge.cc.o.d"
+  "CMakeFiles/dj_eval.dir/leaderboard.cc.o"
+  "CMakeFiles/dj_eval.dir/leaderboard.cc.o.d"
+  "CMakeFiles/dj_eval.dir/model_store.cc.o"
+  "CMakeFiles/dj_eval.dir/model_store.cc.o.d"
+  "CMakeFiles/dj_eval.dir/scaling.cc.o"
+  "CMakeFiles/dj_eval.dir/scaling.cc.o.d"
+  "CMakeFiles/dj_eval.dir/trainer.cc.o"
+  "CMakeFiles/dj_eval.dir/trainer.cc.o.d"
+  "libdj_eval.a"
+  "libdj_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpo/hyperband.cc" "src/hpo/CMakeFiles/dj_hpo.dir/hyperband.cc.o" "gcc" "src/hpo/CMakeFiles/dj_hpo.dir/hyperband.cc.o.d"
+  "/root/repo/src/hpo/mixing.cc" "src/hpo/CMakeFiles/dj_hpo.dir/mixing.cc.o" "gcc" "src/hpo/CMakeFiles/dj_hpo.dir/mixing.cc.o.d"
+  "/root/repo/src/hpo/optimizer.cc" "src/hpo/CMakeFiles/dj_hpo.dir/optimizer.cc.o" "gcc" "src/hpo/CMakeFiles/dj_hpo.dir/optimizer.cc.o.d"
+  "/root/repo/src/hpo/search_space.cc" "src/hpo/CMakeFiles/dj_hpo.dir/search_space.cc.o" "gcc" "src/hpo/CMakeFiles/dj_hpo.dir/search_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops/CMakeFiles/dj_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/dj_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dj_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/dj_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dj_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/dj_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

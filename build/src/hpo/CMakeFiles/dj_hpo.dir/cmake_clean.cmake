@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_hpo.dir/hyperband.cc.o"
+  "CMakeFiles/dj_hpo.dir/hyperband.cc.o.d"
+  "CMakeFiles/dj_hpo.dir/mixing.cc.o"
+  "CMakeFiles/dj_hpo.dir/mixing.cc.o.d"
+  "CMakeFiles/dj_hpo.dir/optimizer.cc.o"
+  "CMakeFiles/dj_hpo.dir/optimizer.cc.o.d"
+  "CMakeFiles/dj_hpo.dir/search_space.cc.o"
+  "CMakeFiles/dj_hpo.dir/search_space.cc.o.d"
+  "libdj_hpo.a"
+  "libdj_hpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_hpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_json.dir/parser.cc.o"
+  "CMakeFiles/dj_json.dir/parser.cc.o.d"
+  "CMakeFiles/dj_json.dir/value.cc.o"
+  "CMakeFiles/dj_json.dir/value.cc.o.d"
+  "CMakeFiles/dj_json.dir/writer.cc.o"
+  "CMakeFiles/dj_json.dir/writer.cc.o.d"
+  "libdj_json.a"
+  "libdj_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

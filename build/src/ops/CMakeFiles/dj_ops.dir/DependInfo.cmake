@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/dedup/document_dedup.cc" "src/ops/CMakeFiles/dj_ops.dir/dedup/document_dedup.cc.o" "gcc" "src/ops/CMakeFiles/dj_ops.dir/dedup/document_dedup.cc.o.d"
+  "/root/repo/src/ops/dedup/granular_dedup.cc" "src/ops/CMakeFiles/dj_ops.dir/dedup/granular_dedup.cc.o" "gcc" "src/ops/CMakeFiles/dj_ops.dir/dedup/granular_dedup.cc.o.d"
+  "/root/repo/src/ops/dedup/minhash.cc" "src/ops/CMakeFiles/dj_ops.dir/dedup/minhash.cc.o" "gcc" "src/ops/CMakeFiles/dj_ops.dir/dedup/minhash.cc.o.d"
+  "/root/repo/src/ops/filters/field_filters.cc" "src/ops/CMakeFiles/dj_ops.dir/filters/field_filters.cc.o" "gcc" "src/ops/CMakeFiles/dj_ops.dir/filters/field_filters.cc.o.d"
+  "/root/repo/src/ops/filters/lexicon_filters.cc" "src/ops/CMakeFiles/dj_ops.dir/filters/lexicon_filters.cc.o" "gcc" "src/ops/CMakeFiles/dj_ops.dir/filters/lexicon_filters.cc.o.d"
+  "/root/repo/src/ops/filters/model_filters.cc" "src/ops/CMakeFiles/dj_ops.dir/filters/model_filters.cc.o" "gcc" "src/ops/CMakeFiles/dj_ops.dir/filters/model_filters.cc.o.d"
+  "/root/repo/src/ops/filters/stats_filters.cc" "src/ops/CMakeFiles/dj_ops.dir/filters/stats_filters.cc.o" "gcc" "src/ops/CMakeFiles/dj_ops.dir/filters/stats_filters.cc.o.d"
+  "/root/repo/src/ops/formatters/formatters.cc" "src/ops/CMakeFiles/dj_ops.dir/formatters/formatters.cc.o" "gcc" "src/ops/CMakeFiles/dj_ops.dir/formatters/formatters.cc.o.d"
+  "/root/repo/src/ops/mappers/clean_mappers.cc" "src/ops/CMakeFiles/dj_ops.dir/mappers/clean_mappers.cc.o" "gcc" "src/ops/CMakeFiles/dj_ops.dir/mappers/clean_mappers.cc.o.d"
+  "/root/repo/src/ops/mappers/latex_mappers.cc" "src/ops/CMakeFiles/dj_ops.dir/mappers/latex_mappers.cc.o" "gcc" "src/ops/CMakeFiles/dj_ops.dir/mappers/latex_mappers.cc.o.d"
+  "/root/repo/src/ops/mappers/text_mappers.cc" "src/ops/CMakeFiles/dj_ops.dir/mappers/text_mappers.cc.o" "gcc" "src/ops/CMakeFiles/dj_ops.dir/mappers/text_mappers.cc.o.d"
+  "/root/repo/src/ops/op_base.cc" "src/ops/CMakeFiles/dj_ops.dir/op_base.cc.o" "gcc" "src/ops/CMakeFiles/dj_ops.dir/op_base.cc.o.d"
+  "/root/repo/src/ops/registry.cc" "src/ops/CMakeFiles/dj_ops.dir/registry.cc.o" "gcc" "src/ops/CMakeFiles/dj_ops.dir/registry.cc.o.d"
+  "/root/repo/src/ops/sample_context.cc" "src/ops/CMakeFiles/dj_ops.dir/sample_context.cc.o" "gcc" "src/ops/CMakeFiles/dj_ops.dir/sample_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/dj_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dj_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/dj_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/dj_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/dj_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

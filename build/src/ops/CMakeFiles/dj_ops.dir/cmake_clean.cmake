@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_ops.dir/dedup/document_dedup.cc.o"
+  "CMakeFiles/dj_ops.dir/dedup/document_dedup.cc.o.d"
+  "CMakeFiles/dj_ops.dir/dedup/granular_dedup.cc.o"
+  "CMakeFiles/dj_ops.dir/dedup/granular_dedup.cc.o.d"
+  "CMakeFiles/dj_ops.dir/dedup/minhash.cc.o"
+  "CMakeFiles/dj_ops.dir/dedup/minhash.cc.o.d"
+  "CMakeFiles/dj_ops.dir/filters/field_filters.cc.o"
+  "CMakeFiles/dj_ops.dir/filters/field_filters.cc.o.d"
+  "CMakeFiles/dj_ops.dir/filters/lexicon_filters.cc.o"
+  "CMakeFiles/dj_ops.dir/filters/lexicon_filters.cc.o.d"
+  "CMakeFiles/dj_ops.dir/filters/model_filters.cc.o"
+  "CMakeFiles/dj_ops.dir/filters/model_filters.cc.o.d"
+  "CMakeFiles/dj_ops.dir/filters/stats_filters.cc.o"
+  "CMakeFiles/dj_ops.dir/filters/stats_filters.cc.o.d"
+  "CMakeFiles/dj_ops.dir/formatters/formatters.cc.o"
+  "CMakeFiles/dj_ops.dir/formatters/formatters.cc.o.d"
+  "CMakeFiles/dj_ops.dir/mappers/clean_mappers.cc.o"
+  "CMakeFiles/dj_ops.dir/mappers/clean_mappers.cc.o.d"
+  "CMakeFiles/dj_ops.dir/mappers/latex_mappers.cc.o"
+  "CMakeFiles/dj_ops.dir/mappers/latex_mappers.cc.o.d"
+  "CMakeFiles/dj_ops.dir/mappers/text_mappers.cc.o"
+  "CMakeFiles/dj_ops.dir/mappers/text_mappers.cc.o.d"
+  "CMakeFiles/dj_ops.dir/op_base.cc.o"
+  "CMakeFiles/dj_ops.dir/op_base.cc.o.d"
+  "CMakeFiles/dj_ops.dir/registry.cc.o"
+  "CMakeFiles/dj_ops.dir/registry.cc.o.d"
+  "CMakeFiles/dj_ops.dir/sample_context.cc.o"
+  "CMakeFiles/dj_ops.dir/sample_context.cc.o.d"
+  "libdj_ops.a"
+  "libdj_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quality/hashing_tf.cc" "src/quality/CMakeFiles/dj_quality.dir/hashing_tf.cc.o" "gcc" "src/quality/CMakeFiles/dj_quality.dir/hashing_tf.cc.o.d"
+  "/root/repo/src/quality/logistic_regression.cc" "src/quality/CMakeFiles/dj_quality.dir/logistic_regression.cc.o" "gcc" "src/quality/CMakeFiles/dj_quality.dir/logistic_regression.cc.o.d"
+  "/root/repo/src/quality/quality_classifier.cc" "src/quality/CMakeFiles/dj_quality.dir/quality_classifier.cc.o" "gcc" "src/quality/CMakeFiles/dj_quality.dir/quality_classifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/dj_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

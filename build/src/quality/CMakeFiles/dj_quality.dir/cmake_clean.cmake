@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_quality.dir/hashing_tf.cc.o"
+  "CMakeFiles/dj_quality.dir/hashing_tf.cc.o.d"
+  "CMakeFiles/dj_quality.dir/logistic_regression.cc.o"
+  "CMakeFiles/dj_quality.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/dj_quality.dir/quality_classifier.cc.o"
+  "CMakeFiles/dj_quality.dir/quality_classifier.cc.o.d"
+  "libdj_quality.a"
+  "libdj_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/lang_id.cc" "src/text/CMakeFiles/dj_text.dir/lang_id.cc.o" "gcc" "src/text/CMakeFiles/dj_text.dir/lang_id.cc.o.d"
+  "/root/repo/src/text/lexicons.cc" "src/text/CMakeFiles/dj_text.dir/lexicons.cc.o" "gcc" "src/text/CMakeFiles/dj_text.dir/lexicons.cc.o.d"
+  "/root/repo/src/text/ngram.cc" "src/text/CMakeFiles/dj_text.dir/ngram.cc.o" "gcc" "src/text/CMakeFiles/dj_text.dir/ngram.cc.o.d"
+  "/root/repo/src/text/ngram_lm.cc" "src/text/CMakeFiles/dj_text.dir/ngram_lm.cc.o" "gcc" "src/text/CMakeFiles/dj_text.dir/ngram_lm.cc.o.d"
+  "/root/repo/src/text/normalize.cc" "src/text/CMakeFiles/dj_text.dir/normalize.cc.o" "gcc" "src/text/CMakeFiles/dj_text.dir/normalize.cc.o.d"
+  "/root/repo/src/text/sentence.cc" "src/text/CMakeFiles/dj_text.dir/sentence.cc.o" "gcc" "src/text/CMakeFiles/dj_text.dir/sentence.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/dj_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/dj_text.dir/tokenizer.cc.o.d"
+  "/root/repo/src/text/utf8.cc" "src/text/CMakeFiles/dj_text.dir/utf8.cc.o" "gcc" "src/text/CMakeFiles/dj_text.dir/utf8.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_text.dir/lang_id.cc.o"
+  "CMakeFiles/dj_text.dir/lang_id.cc.o.d"
+  "CMakeFiles/dj_text.dir/lexicons.cc.o"
+  "CMakeFiles/dj_text.dir/lexicons.cc.o.d"
+  "CMakeFiles/dj_text.dir/ngram.cc.o"
+  "CMakeFiles/dj_text.dir/ngram.cc.o.d"
+  "CMakeFiles/dj_text.dir/ngram_lm.cc.o"
+  "CMakeFiles/dj_text.dir/ngram_lm.cc.o.d"
+  "CMakeFiles/dj_text.dir/normalize.cc.o"
+  "CMakeFiles/dj_text.dir/normalize.cc.o.d"
+  "CMakeFiles/dj_text.dir/sentence.cc.o"
+  "CMakeFiles/dj_text.dir/sentence.cc.o.d"
+  "CMakeFiles/dj_text.dir/tokenizer.cc.o"
+  "CMakeFiles/dj_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/dj_text.dir/utf8.cc.o"
+  "CMakeFiles/dj_text.dir/utf8.cc.o.d"
+  "libdj_text.a"
+  "libdj_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

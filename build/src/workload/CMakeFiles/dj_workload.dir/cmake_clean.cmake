@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_workload.dir/generator.cc.o"
+  "CMakeFiles/dj_workload.dir/generator.cc.o.d"
+  "libdj_workload.a"
+  "libdj_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_yaml.dir/yaml.cc.o"
+  "CMakeFiles/dj_yaml.dir/yaml.cc.o.d"
+  "libdj_yaml.a"
+  "libdj_yaml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_yaml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

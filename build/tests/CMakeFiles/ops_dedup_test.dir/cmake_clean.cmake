@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_dedup_test.dir/ops_dedup_test.cc.o"
+  "CMakeFiles/ops_dedup_test.dir/ops_dedup_test.cc.o.d"
+  "ops_dedup_test"
+  "ops_dedup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_dedup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_filters_test.dir/ops_filters_test.cc.o"
+  "CMakeFiles/ops_filters_test.dir/ops_filters_test.cc.o.d"
+  "ops_filters_test"
+  "ops_filters_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_filters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

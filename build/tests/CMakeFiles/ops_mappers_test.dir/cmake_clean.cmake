@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_mappers_test.dir/ops_mappers_test.cc.o"
+  "CMakeFiles/ops_mappers_test.dir/ops_mappers_test.cc.o.d"
+  "ops_mappers_test"
+  "ops_mappers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_mappers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/property_test.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/dj_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dj_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/dj_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpo/CMakeFiles/dj_hpo.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/dj_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/dj_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/dj_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dj_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dj_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dj_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/yaml/CMakeFiles/dj_yaml.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/dj_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/dj_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

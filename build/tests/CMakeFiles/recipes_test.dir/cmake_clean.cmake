@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recipes_test.dir/recipes_test.cc.o"
+  "CMakeFiles/recipes_test.dir/recipes_test.cc.o.d"
+  "recipes_test"
+  "recipes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recipes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

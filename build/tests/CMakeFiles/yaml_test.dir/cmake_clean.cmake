@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yaml_test.dir/yaml_test.cc.o"
+  "CMakeFiles/yaml_test.dir/yaml_test.cc.o.d"
+  "yaml_test"
+  "yaml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yaml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_analyze.dir/dj_analyze.cc.o"
+  "CMakeFiles/dj_analyze.dir/dj_analyze.cc.o.d"
+  "dj_analyze"
+  "dj_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

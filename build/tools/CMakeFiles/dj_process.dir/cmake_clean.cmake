@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_process.dir/dj_process.cc.o"
+  "CMakeFiles/dj_process.dir/dj_process.cc.o.d"
+  "dj_process"
+  "dj_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
