@@ -1,5 +1,6 @@
 #include "common/string_util.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
@@ -166,6 +167,21 @@ std::string FormatBytes(uint64_t bytes) {
     std::snprintf(buf, sizeof(buf), "%.2f %s", v, kUnits[unit]);
   }
   return std::string(buf);
+}
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);  // `a` is the shorter string
+  std::vector<size_t> prev(a.size() + 1), cur(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) prev[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    cur[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      size_t sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[a.size()];
 }
 
 }  // namespace dj

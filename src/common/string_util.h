@@ -48,6 +48,10 @@ std::string FormatDouble(double v, int precision = 6);
 /// Formats a byte count using binary units ("1.50 MiB").
 std::string FormatBytes(uint64_t bytes);
 
+/// Levenshtein edit distance between `a` and `b` (unit-cost insert/delete/
+/// substitute, byte-wise). Powers "did you mean ...?" suggestions.
+size_t EditDistance(std::string_view a, std::string_view b);
+
 }  // namespace dj
 
 #endif  // DJ_COMMON_STRING_UTIL_H_

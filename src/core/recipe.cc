@@ -8,20 +8,23 @@
 namespace dj::core {
 namespace {
 
-constexpr std::string_view kKnownKeys[] = {
-    "project_name",  "dataset_path",   "export_path",      "np",
-    "use_cache",     "cache_dir",      "cache_compression", "use_checkpoint",
-    "checkpoint_dir", "op_fusion",     "op_reorder",        "enable_trace",
-    "trace_limit",   "process"};
-
 bool IsKnownKey(std::string_view key) {
-  for (std::string_view k : kKnownKeys) {
+  for (std::string_view k : Recipe::KnownKeys()) {
     if (k == key) return true;
   }
   return false;
 }
 
 }  // namespace
+
+const std::vector<std::string_view>& Recipe::KnownKeys() {
+  static const std::vector<std::string_view> kKnownKeys = {
+      "project_name",   "dataset_path", "export_path",       "np",
+      "use_cache",      "cache_dir",    "cache_compression", "use_checkpoint",
+      "checkpoint_dir", "op_fusion",    "op_reorder",        "enable_trace",
+      "trace_limit",    "process"};
+  return kKnownKeys;
+}
 
 Result<Recipe> Recipe::FromJson(const json::Value& root) {
   if (!root.is_object()) {

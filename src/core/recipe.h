@@ -2,6 +2,7 @@
 #define DJ_CORE_RECIPE_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -64,6 +65,10 @@ struct Recipe {
 
   /// Serializes back to a JSON value (stable ordering).
   json::Value ToJson() const;
+
+  /// The recognized top-level recipe keys; anything else lands in `extras`
+  /// (and is flagged by the recipe linter as a likely typo).
+  static const std::vector<std::string_view>& KnownKeys();
 };
 
 }  // namespace dj::core

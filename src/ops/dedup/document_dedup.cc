@@ -310,4 +310,31 @@ Result<data::Dataset> NgramOverlapDeduplicator::Deduplicate(
   return CollectSurvivors(dataset, &uf, pairs, threshold_);
 }
 
+std::vector<OpSchema> DocumentDedupSchemas() {
+  std::vector<OpSchema> out;
+  out.emplace_back(
+      OpSchema("document_exact_deduplicator", OpKind::kDeduplicator)
+          .Bool("lowercase", true, "lowercase before fingerprinting")
+          .Bool("ignore_whitespace", true,
+                "collapse whitespace before fingerprinting"));
+  out.emplace_back(
+      OpSchema("document_minhash_deduplicator", OpKind::kDeduplicator)
+          .Int("num_perm", 128, 8, 4096, "MinHash permutations")
+          .Int("shingle_size", 5, 1, kParamInf, "word shingle length")
+          .Double("jaccard_threshold", 0.7, 0, 1,
+                  "similarity above which documents are duplicates")
+          .Bool("lowercase", true, "lowercase before shingling"));
+  out.emplace_back(
+      OpSchema("document_simhash_deduplicator", OpKind::kDeduplicator)
+          .Int("shingle_size", 3, 1, kParamInf, "word shingle length")
+          .Int("hamming_threshold", 4, 0, 64,
+               "maximum fingerprint bit distance for duplicates"));
+  out.emplace_back(
+      OpSchema("ngram_overlap_deduplicator", OpKind::kDeduplicator)
+          .Int("shingle_size", 3, 1, kParamInf, "word n-gram length")
+          .Double("jaccard_threshold", 0.8, 0, 1,
+                  "exact shingle-set similarity threshold"));
+  return out;
+}
+
 }  // namespace dj::ops

@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "ops/dedup/minhash.h"
 #include "ops/op_base.h"
+#include "ops/param_spec.h"
 
 namespace dj::ops {
 
@@ -99,6 +100,9 @@ class NgramOverlapDeduplicator : public Deduplicator {
   double threshold_;
   std::vector<std::vector<uint64_t>> shingles_;
 };
+
+/// Declared parameter schemas of the document deduplicators above.
+std::vector<OpSchema> DocumentDedupSchemas();
 
 }  // namespace dj::ops
 

@@ -114,4 +114,16 @@ std::vector<std::string> SentenceExactDeduplicator::SplitUnits(
   return ctx->Sentences();
 }
 
+std::vector<OpSchema> GranularDedupSchemas() {
+  std::vector<OpSchema> out;
+  for (const char* name :
+       {"paragraph_exact_deduplicator", "sentence_exact_deduplicator"}) {
+    out.emplace_back(
+        OpSchema(name, OpKind::kDeduplicator)
+            .Int("min_unit_length", 8, 0, kParamInf,
+                 "units shorter than this many bytes are never deduped"));
+  }
+  return out;
+}
+
 }  // namespace dj::ops

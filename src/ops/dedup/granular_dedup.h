@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ops/op_base.h"
+#include "ops/param_spec.h"
 
 namespace dj::ops {
 
@@ -53,6 +54,9 @@ class SentenceExactDeduplicator : public GranularDeduplicatorBase {
   std::vector<std::string> SplitUnits(SampleContext* ctx) const override;
   std::string_view Joiner() const override { return " "; }
 };
+
+/// Declared parameter schemas of the granular deduplicators above.
+std::vector<OpSchema> GranularDedupSchemas();
 
 }  // namespace dj::ops
 

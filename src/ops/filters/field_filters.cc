@@ -133,4 +133,24 @@ Result<bool> FieldExistsFilter::KeepRow(data::RowRef row) const {
   return v != nullptr && !v->is_null();
 }
 
+std::vector<OpSchema> FieldFilterSchemas() {
+  constexpr double kLowest = std::numeric_limits<double>::lowest();
+  constexpr double kMax = std::numeric_limits<double>::max();
+  std::vector<OpSchema> out;
+  out.emplace_back(OpSchema("suffix_filter", OpKind::kFilter)
+                       .Str("field", "meta.suffix", "field holding the suffix")
+                       .List("suffixes", "allowed suffixes (empty = all)"));
+  out.emplace_back(OpSchema("specified_field_filter", OpKind::kFilter)
+                       .Str("field", "meta.tag", "field to compare")
+                       .List("target_values", "values that keep the sample"));
+  out.emplace_back(
+      OpSchema("specified_numeric_field_filter", OpKind::kFilter)
+          .Str("field", "meta.value", "numeric field to compare")
+          .Double("min", kLowest, -kParamInf, kParamInf, "minimum value")
+          .Double("max", kMax, -kParamInf, kParamInf, "maximum value"));
+  out.emplace_back(OpSchema("field_exists_filter", OpKind::kFilter)
+                       .Str("field", "text", "field that must be present"));
+  return out;
+}
+
 }  // namespace dj::ops

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ops/op_base.h"
+#include "ops/param_spec.h"
 #include "ops/stats_keys.h"
 
 namespace dj::ops {
@@ -72,6 +73,9 @@ class FieldExistsFilter : public Filter {
  private:
   std::string field_;
 };
+
+/// Declared parameter schemas of the field filters above.
+std::vector<OpSchema> FieldFilterSchemas();
 
 }  // namespace dj::ops
 

@@ -111,4 +111,19 @@ double TextEntityDependencyFilter::ComputeValue(std::string_view,
   return static_cast<double>(entities);
 }
 
+std::vector<OpSchema> LexiconFilterSchemas() {
+  constexpr double kMax = std::numeric_limits<double>::max();
+  std::vector<OpSchema> out;
+  out.push_back(RangeFilterSchema("flagged_words_filter", 0.0, 0.01, 0, 1,
+                                  "flagged word ratio")
+                    .List("extra_words", "additional flagged words"));
+  out.push_back(RangeFilterSchema("stopwords_filter", 0.1, 1.0, 0, 1,
+                                  "stopword ratio"));
+  out.push_back(RangeFilterSchema("text_action_filter", 1, kMax, 0, kParamInf,
+                                  "action verb count"));
+  out.push_back(RangeFilterSchema("text_entity_dependency_filter", 1, kMax, 0,
+                                  kParamInf, "entity token count"));
+  return out;
+}
+
 }  // namespace dj::ops

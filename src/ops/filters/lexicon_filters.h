@@ -56,6 +56,9 @@ class TextEntityDependencyFilter : public RangeStatFilter {
   double CostEstimate() const override { return 1.2; }
 };
 
+/// Declared parameter schemas of the lexicon filters above.
+std::vector<OpSchema> LexiconFilterSchemas();
+
 }  // namespace dj::ops
 
 #endif  // DJ_OPS_FILTERS_LEXICON_FILTERS_H_

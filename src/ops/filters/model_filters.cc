@@ -90,4 +90,20 @@ Result<bool> QualityScoreFilter::KeepRow(data::RowRef row) const {
   return ReadStat(row, stats_keys::kQualityScore, 0.0) >= min_score_;
 }
 
+std::vector<OpSchema> ModelFilterSchemas() {
+  std::vector<OpSchema> out;
+  out.emplace_back(
+      OpSchema("language_id_score_filter", OpKind::kFilter)
+          .Str("lang", "en", "required language code")
+          .Double("min_score", 0.8, 0, 1,
+                  "minimum identification confidence"));
+  out.emplace_back(OpSchema("perplexity_filter", OpKind::kFilter)
+                       .Double("max_ppl", 1500.0, 0, kParamInf,
+                               "maximum n-gram LM perplexity"));
+  out.emplace_back(OpSchema("quality_score_filter", OpKind::kFilter)
+                       .Double("min_score", 0.5, 0, 1,
+                               "minimum quality classifier score"));
+  return out;
+}
+
 }  // namespace dj::ops

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ops/op_base.h"
+#include "ops/param_spec.h"
 #include "ops/stats_keys.h"
 #include "quality/quality_classifier.h"
 #include "text/lang_id.h"
@@ -69,6 +70,9 @@ class QualityScoreFilter : public Filter {
   double min_score_;
   const quality::QualityClassifier* classifier_;  // not owned
 };
+
+/// Declared parameter schemas of the model-backed filters above.
+std::vector<OpSchema> ModelFilterSchemas();
 
 }  // namespace dj::ops
 

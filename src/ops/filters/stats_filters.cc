@@ -203,4 +203,48 @@ double SentenceNumFilter::ComputeValue(std::string_view,
   return static_cast<double>(ctx->Sentences().size());
 }
 
+// ----------------------------------------------------- declared schemas --
+
+OpSchema RangeFilterSchema(std::string op_name, double default_min,
+                           double default_max, double lo, double hi,
+                           std::string stat_doc) {
+  OpSchema schema(std::move(op_name), OpKind::kFilter);
+  schema.Double("min", default_min, lo, hi, "keep samples with " + stat_doc +
+                                                " >= min");
+  schema.Double("max", default_max, lo, hi,
+                "keep samples with " + stat_doc + " <= max");
+  return schema;
+}
+
+std::vector<OpSchema> StatsFilterSchemas() {
+  constexpr double kMax = std::numeric_limits<double>::max();
+  std::vector<OpSchema> out;
+  out.push_back(RangeFilterSchema("alphanumeric_filter", 0.25, 1.0, 0, 1,
+                                  "alphanumeric codepoint ratio"));
+  out.push_back(RangeFilterSchema("average_line_length_filter", 10, kMax, 0,
+                                  kParamInf, "mean line length"));
+  out.push_back(RangeFilterSchema("character_repetition_filter", 0.0, 0.5, 0,
+                                  1, "duplicated char-n-gram ratio")
+                    .Int("rep_len", 10, 1, kParamInf,
+                         "character n-gram length"));
+  out.push_back(RangeFilterSchema("maximum_line_length_filter", 10, kMax, 0,
+                                  kParamInf, "longest line length"));
+  out.push_back(RangeFilterSchema("special_characters_filter", 0.0, 0.25, 0,
+                                  1, "special character ratio"));
+  out.push_back(RangeFilterSchema("text_length_filter", 10, kMax, 0,
+                                  kParamInf, "text length in codepoints"));
+  out.push_back(RangeFilterSchema("token_num_filter", 10, kMax, 0, kParamInf,
+                                  "approximate token count"));
+  out.push_back(RangeFilterSchema("word_num_filter", 10, kMax, 0, kParamInf,
+                                  "word count"));
+  out.push_back(RangeFilterSchema("word_repetition_filter", 0.0, 0.6, 0, 1,
+                                  "duplicated word-n-gram ratio")
+                    .Int("rep_len", 5, 1, kParamInf, "word n-gram length"));
+  out.push_back(RangeFilterSchema("paragraph_num_filter", 1, kMax, 0,
+                                  kParamInf, "paragraph count"));
+  out.push_back(RangeFilterSchema("sentence_num_filter", 1, kMax, 0,
+                                  kParamInf, "sentence count"));
+  return out;
+}
+
 }  // namespace dj::ops

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ops/op_base.h"
+#include "ops/param_spec.h"
 #include "ops/stats_keys.h"
 
 namespace dj::ops {
@@ -135,6 +136,15 @@ class SentenceNumFilter : public RangeStatFilter {
   bool UsesContext() const override { return true; }
   double CostEstimate() const override { return 0.8; }
 };
+
+/// Declared parameter schemas of the statistics filters above.
+std::vector<OpSchema> StatsFilterSchemas();
+
+/// Schema skeleton shared by every RangeStatFilter: `min`/`max` keep-bounds
+/// with the filter's effective defaults and valid range.
+OpSchema RangeFilterSchema(std::string op_name, double default_min,
+                           double default_max, double lo, double hi,
+                           std::string stat_doc);
 
 }  // namespace dj::ops
 

@@ -243,4 +243,17 @@ Result<data::Dataset> LoadDataset(const std::string& path) {
   return CodeFormatter(empty_config).LoadFile(path);
 }
 
+std::vector<OpSchema> FormatterSchemas() {
+  std::vector<OpSchema> out;
+  out.emplace_back("jsonl_formatter", OpKind::kFormatter);
+  out.emplace_back("json_formatter", OpKind::kFormatter);
+  out.emplace_back(OpSchema("txt_formatter", OpKind::kFormatter)
+                       .Bool("per_line", false,
+                             "each non-empty line becomes its own sample"));
+  out.emplace_back("csv_formatter", OpKind::kFormatter);
+  out.emplace_back("tsv_formatter", OpKind::kFormatter);
+  out.emplace_back("code_formatter", OpKind::kFormatter);
+  return out;
+}
+
 }  // namespace dj::ops

@@ -2,8 +2,10 @@
 #define DJ_OPS_FORMATTERS_FORMATTERS_H_
 
 #include <string>
+#include <vector>
 
 #include "ops/op_base.h"
+#include "ops/param_spec.h"
 
 namespace dj::ops {
 
@@ -70,6 +72,9 @@ class CodeFormatter : public Formatter {
 /// suffixes) and loads with the matching formatter — the unified loading
 /// entry point of paper Sec. 4.1.
 Result<data::Dataset> LoadDataset(const std::string& path);
+
+/// Declared parameter schemas of the formatter OPs above.
+std::vector<OpSchema> FormatterSchemas();
 
 }  // namespace dj::ops
 

@@ -323,4 +323,17 @@ Result<std::string> CleanLinksMapper::TransformText(std::string_view input,
   return out;
 }
 
+std::vector<OpSchema> CleanMapperSchemas() {
+  std::vector<OpSchema> out;
+  out.emplace_back("clean_copyright_mapper", OpKind::kMapper);
+  out.emplace_back(OpSchema("clean_email_mapper", OpKind::kMapper)
+                       .Str("repl", "", "replacement for removed addresses"));
+  out.emplace_back("clean_html_mapper", OpKind::kMapper);
+  out.emplace_back(OpSchema("clean_ip_mapper", OpKind::kMapper)
+                       .Str("repl", "", "replacement for removed addresses"));
+  out.emplace_back(OpSchema("clean_links_mapper", OpKind::kMapper)
+                       .Str("repl", "", "replacement for removed links"));
+  return out;
+}
+
 }  // namespace dj::ops

@@ -1,7 +1,10 @@
 #ifndef DJ_OPS_MAPPERS_CLEAN_MAPPERS_H_
 #define DJ_OPS_MAPPERS_CLEAN_MAPPERS_H_
 
+#include <vector>
+
 #include "ops/op_base.h"
+#include "ops/param_spec.h"
 
 namespace dj::ops {
 
@@ -67,6 +70,9 @@ class CleanLinksMapper : public Mapper {
  private:
   std::string repl_;
 };
+
+/// Declared parameter schemas of the cleaning mappers above.
+std::vector<OpSchema> CleanMapperSchemas();
 
 }  // namespace dj::ops
 

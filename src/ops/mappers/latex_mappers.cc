@@ -290,4 +290,17 @@ Result<std::string> RemoveTableTextMapper::TransformText(
   return out;
 }
 
+std::vector<OpSchema> LatexMapperSchemas() {
+  std::vector<OpSchema> out;
+  out.emplace_back("expand_macro_mapper", OpKind::kMapper);
+  out.emplace_back("remove_bibliography_mapper", OpKind::kMapper);
+  out.emplace_back("remove_comments_mapper", OpKind::kMapper);
+  out.emplace_back("remove_header_mapper", OpKind::kMapper);
+  out.emplace_back(OpSchema("remove_table_text_mapper", OpKind::kMapper)
+                       .Int("min_col_count", 2, 1, kParamInf,
+                            "minimum columns for a line to read as a table "
+                            "row"));
+  return out;
+}
+
 }  // namespace dj::ops

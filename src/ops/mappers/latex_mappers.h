@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ops/op_base.h"
+#include "ops/param_spec.h"
 
 namespace dj::ops {
 
@@ -73,6 +74,9 @@ class RemoveTableTextMapper : public Mapper {
  private:
   int64_t min_col_count_;
 };
+
+/// Declared parameter schemas of the LaTeX mappers above.
+std::vector<OpSchema> LatexMapperSchemas();
 
 }  // namespace dj::ops
 

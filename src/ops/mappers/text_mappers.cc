@@ -250,4 +250,31 @@ Result<std::string> ChineseConvertMapper::TransformText(
   return out;
 }
 
+std::vector<OpSchema> TextMapperSchemas() {
+  std::vector<OpSchema> out;
+  out.emplace_back("fix_unicode_mapper", OpKind::kMapper);
+  out.emplace_back("lower_case_mapper", OpKind::kMapper);
+  out.emplace_back("punctuation_normalization_mapper", OpKind::kMapper);
+  out.emplace_back(OpSchema("remove_long_words_mapper", OpKind::kMapper)
+                       .Int("max_len", 50, 1, kParamInf,
+                            "drop words longer than this many codepoints"));
+  out.emplace_back(
+      OpSchema("remove_repeat_sentences_mapper", OpKind::kMapper)
+          .Int("min_repeat_sentence_length", 2, 0, kParamInf,
+               "sentences shorter than this never count as repeats"));
+  out.emplace_back(
+      OpSchema("remove_specific_chars_mapper", OpKind::kMapper)
+          .StrNoDefault("chars_to_remove",
+                        "characters to strip (default: bullet glyphs)"));
+  out.emplace_back(
+      OpSchema("remove_words_with_incorrect_substrings_mapper",
+               OpKind::kMapper)
+          .List("substrings",
+                "drop words containing any of these substrings"));
+  out.emplace_back("sentence_split_mapper", OpKind::kMapper);
+  out.emplace_back("whitespace_normalization_mapper", OpKind::kMapper);
+  out.emplace_back("chinese_convert_mapper", OpKind::kMapper);
+  return out;
+}
+
 }  // namespace dj::ops

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ops/op_base.h"
+#include "ops/param_spec.h"
 
 namespace dj::ops {
 
@@ -116,6 +117,9 @@ class ChineseConvertMapper : public Mapper {
   std::vector<std::string> Tags() const override { return {"zh"}; }
   double CostEstimate() const override { return 0.4; }
 };
+
+/// Declared parameter schemas of the text mappers above.
+std::vector<OpSchema> TextMapperSchemas();
 
 }  // namespace dj::ops
 

@@ -1,0 +1,89 @@
+#ifndef DJ_OPS_PARAM_SPEC_H_
+#define DJ_OPS_PARAM_SPEC_H_
+
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/value.h"
+#include "ops/op_base.h"
+
+namespace dj::ops {
+
+/// Declared type of one OP configuration parameter.
+enum class ParamType { kBool, kInt, kDouble, kString, kList };
+
+const char* ParamTypeName(ParamType type);
+
+/// Whether a recipe-supplied value satisfies `type` (ints are accepted where
+/// doubles are declared, not vice versa).
+bool ValueMatchesType(const json::Value& value, ParamType type);
+
+/// Declaration of one configuration parameter of an OP: key, type, default,
+/// and (for numbers) the valid range. This is the metadata the recipe linter
+/// checks params against; OPs themselves keep reading config via Op::Param.
+struct ParamSpec {
+  std::string key;
+  ParamType type = ParamType::kDouble;
+  /// Effective default; null when the OP computes the default itself
+  /// (e.g. built-in lexicons) — the linter then skips default-based checks.
+  json::Value def;
+  /// Valid numeric range (inclusive); ignored for non-numeric types.
+  double min_value = -std::numeric_limits<double>::infinity();
+  double max_value = std::numeric_limits<double>::infinity();
+  std::string doc;
+
+  bool has_range() const {
+    return min_value != -std::numeric_limits<double>::infinity() ||
+           max_value != std::numeric_limits<double>::infinity();
+  }
+};
+
+/// The declared configuration surface of one OP. Built with the fluent
+/// helpers below and registered next to the OP's factory, so unknown or
+/// ill-typed recipe params can be diagnosed before a run:
+///
+///   OpSchema("text_length_filter", OpKind::kFilter)
+///       .Double("min", 10, 0, kInf, "minimum text length in codepoints")
+///       .Double("max", kInf, 0, kInf, "maximum text length in codepoints");
+class OpSchema {
+ public:
+  OpSchema(std::string op_name, OpKind kind);
+
+  const std::string& op_name() const { return op_name_; }
+  OpKind kind() const { return kind_; }
+  const std::vector<ParamSpec>& params() const { return params_; }
+
+  const ParamSpec* Find(std::string_view key) const;
+  std::vector<std::string> Keys() const;
+
+  /// Fluent declaration helpers (return *this for chaining).
+  OpSchema& Bool(std::string key, bool def, std::string doc = "");
+  OpSchema& Int(std::string key, int64_t def, double min_value,
+                double max_value, std::string doc = "");
+  OpSchema& Double(std::string key, double def, double min_value,
+                   double max_value, std::string doc = "");
+  OpSchema& Str(std::string key, std::string def, std::string doc = "");
+  /// List param with no declared default (OP fills one in).
+  OpSchema& List(std::string key, std::string doc = "");
+  /// String param with no declared default.
+  OpSchema& StrNoDefault(std::string key, std::string doc = "");
+
+  /// {"name": ..., "kind": ..., "params": [{key,type,default,min,max,doc}]}
+  json::Value ToJson() const;
+
+ private:
+  OpSchema& Add(ParamSpec spec);
+
+  std::string op_name_;
+  OpKind kind_;
+  std::vector<ParamSpec> params_;
+};
+
+/// Shorthand for open-ended numeric ranges in schema declarations.
+inline constexpr double kParamInf = std::numeric_limits<double>::infinity();
+
+}  // namespace dj::ops
+
+#endif  // DJ_OPS_PARAM_SPEC_H_

@@ -24,36 +24,64 @@ OpRegistry& OpRegistry::Global() {
 }
 
 void OpRegistry::Register(std::string name, Factory factory) {
-  for (auto& [existing, f] : factories_) {
-    if (existing == name) {
+  for (Entry& entry : entries_) {
+    if (entry.name == name) {
       DJ_LOG(Warning) << "re-registering OP '" << name << "'";
-      f = std::move(factory);
+      entry.factory = std::move(factory);
       return;
     }
   }
-  factories_.emplace_back(std::move(name), std::move(factory));
+  entries_.push_back({std::move(name), std::move(factory), std::nullopt});
+}
+
+void OpRegistry::RegisterSchema(OpSchema schema) {
+  for (Entry& entry : entries_) {
+    if (entry.name == schema.op_name()) {
+      entry.schema = std::move(schema);
+      return;
+    }
+  }
+  DJ_LOG(Warning) << "schema for unregistered OP '" << schema.op_name()
+                  << "' dropped";
 }
 
 Result<std::unique_ptr<Op>> OpRegistry::Create(
     std::string_view name, const json::Value& config) const {
-  for (const auto& [registered, factory] : factories_) {
-    if (registered == name) return factory(config);
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return entry.factory(config);
   }
   return Status::NotFound("unknown OP '" + std::string(name) +
                           "' (see OpRegistry::Names)");
 }
 
 bool OpRegistry::Contains(std::string_view name) const {
-  for (const auto& [registered, factory] : factories_) {
-    if (registered == name) return true;
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return true;
   }
   return false;
 }
 
 std::vector<std::string> OpRegistry::Names() const {
   std::vector<std::string> out;
-  out.reserve(factories_.size());
-  for (const auto& [name, factory] : factories_) out.push_back(name);
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.name);
+  return out;
+}
+
+const OpSchema* OpRegistry::FindSchema(std::string_view name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) {
+      return entry.schema.has_value() ? &*entry.schema : nullptr;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const OpSchema*> OpRegistry::AllSchemas() const {
+  std::vector<const OpSchema*> out;
+  for (const Entry& entry : entries_) {
+    if (entry.schema.has_value()) out.push_back(&*entry.schema);
+  }
   return out;
 }
 
@@ -151,6 +179,16 @@ void RegisterBuiltinOps(OpRegistry* r) {
               MakeFactory<SentenceExactDeduplicator>());
   r->Register("ngram_overlap_deduplicator",
               MakeFactory<NgramOverlapDeduplicator>());
+
+  // Declared parameter schemas (one block per OP family); these drive the
+  // static recipe linter's unknown-key/type/range diagnostics.
+  for (auto schemas :
+       {FormatterSchemas(), CleanMapperSchemas(), TextMapperSchemas(),
+        LatexMapperSchemas(), StatsFilterSchemas(), LexiconFilterSchemas(),
+        ModelFilterSchemas(), FieldFilterSchemas(), DocumentDedupSchemas(),
+        GranularDedupSchemas()}) {
+    for (OpSchema& schema : schemas) r->RegisterSchema(std::move(schema));
+  }
 }
 
 }  // namespace dj::ops

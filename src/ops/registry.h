@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "common/status.h"
 #include "json/value.h"
 #include "ops/op_base.h"
+#include "ops/param_spec.h"
 
 namespace dj::ops {
 
@@ -29,6 +31,11 @@ class OpRegistry {
   /// factory (useful for tests); a warning is logged.
   void Register(std::string name, Factory factory);
 
+  /// Attaches a declared parameter schema to the already-registered OP
+  /// `schema.op_name()`. Schemas power static recipe linting (lint::
+  /// RecipeLinter); OPs without one are skipped by param checks.
+  void RegisterSchema(OpSchema schema);
+
   /// Instantiates the OP `name` with `config` (a JSON object of params).
   Result<std::unique_ptr<Op>> Create(std::string_view name,
                                      const json::Value& config) const;
@@ -36,8 +43,18 @@ class OpRegistry {
   bool Contains(std::string_view name) const;
   std::vector<std::string> Names() const;
 
+  /// Declared schema of `name`, or nullptr when none was registered.
+  const OpSchema* FindSchema(std::string_view name) const;
+  /// All registered schemas, in registration order.
+  std::vector<const OpSchema*> AllSchemas() const;
+
  private:
-  std::vector<std::pair<std::string, Factory>> factories_;
+  struct Entry {
+    std::string name;
+    Factory factory;
+    std::optional<OpSchema> schema;
+  };
+  std::vector<Entry> entries_;
 };
 
 /// Registers every built-in OP into `registry`. Idempotent.

@@ -136,6 +136,34 @@ TEST(StringUtilTest, FormatBytesUnits) {
   EXPECT_EQ(FormatBytes(3u << 20), "3.00 MiB");
 }
 
+TEST(StringUtilTest, EditDistanceBasics) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+}
+
+TEST(StringUtilTest, EditDistanceIsSymmetric) {
+  EXPECT_EQ(EditDistance("sunday", "saturday"),
+            EditDistance("saturday", "sunday"));
+  EXPECT_EQ(EditDistance("sunday", "saturday"), 3u);
+}
+
+TEST(StringUtilTest, EditDistanceSingleEdits) {
+  EXPECT_EQ(EditDistance("min_score", "min_scor"), 1u);   // deletion
+  EXPECT_EQ(EditDistance("min_score", "min_scores"), 1u); // insertion
+  EXPECT_EQ(EditDistance("min_score", "min_scope"), 1u);  // substitution
+}
+
+TEST(StringUtilTest, EditDistanceOpTypo) {
+  // The motivating case: a dropped letter in an OP name.
+  EXPECT_EQ(
+      EditDistance("languge_id_score_filter", "language_id_score_filter"),
+      1u);
+}
+
 // --------------------------------------------------------------- hash ----
 
 TEST(HashTest, Fnv1a64IsStable) {

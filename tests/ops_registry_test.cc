@@ -112,6 +112,97 @@ TEST(OpRegistryTest, ReRegisterReplaces) {
   EXPECT_FALSE(registry.Create("op", Config()).ok());
 }
 
+// -------------------------------------------------------------- schemas --
+
+TEST(OpSchemaTest, EveryBuiltinOpDeclaresASchema) {
+  const OpRegistry& registry = OpRegistry::Global();
+  for (const std::string& name : registry.Names()) {
+    EXPECT_NE(registry.FindSchema(name), nullptr) << name;
+  }
+  EXPECT_EQ(registry.AllSchemas().size(), registry.Names().size());
+}
+
+TEST(OpSchemaTest, SchemaKindMatchesInstance) {
+  const OpRegistry& registry = OpRegistry::Global();
+  for (const std::string& name : registry.Names()) {
+    const OpSchema* schema = registry.FindSchema(name);
+    ASSERT_NE(schema, nullptr) << name;
+    EXPECT_EQ(schema->op_name(), name);
+    auto op = registry.Create(name, Config());
+    ASSERT_TRUE(op.ok()) << name;
+    EXPECT_EQ(schema->kind(), op.value()->kind()) << name;
+  }
+}
+
+TEST(OpSchemaTest, EffectiveConfigKeysAreDeclared) {
+  // Every param an OP echoes into its effective config must be declared in
+  // its schema — otherwise the linter would reject params the OP reads.
+  const OpRegistry& registry = OpRegistry::Global();
+  for (const std::string& name : registry.Names()) {
+    const OpSchema* schema = registry.FindSchema(name);
+    ASSERT_NE(schema, nullptr) << name;
+    auto op = registry.Create(name, Config());
+    ASSERT_TRUE(op.ok()) << name;
+    ASSERT_TRUE(op.value()->config().is_object()) << name;
+    for (const auto& [key, value] : op.value()->config().as_object().entries()) {
+      EXPECT_NE(schema->Find(key), nullptr)
+          << name << " echoes undeclared param '" << key << "'";
+    }
+  }
+}
+
+TEST(OpSchemaTest, DeclaredDefaultsMatchEffectiveConfig) {
+  // Where a schema declares a scalar default and the OP echoes that key,
+  // the two must agree — the linter's keep-range math relies on it.
+  const OpRegistry& registry = OpRegistry::Global();
+  for (const std::string& name : registry.Names()) {
+    const OpSchema* schema = registry.FindSchema(name);
+    ASSERT_NE(schema, nullptr) << name;
+    auto op = registry.Create(name, Config());
+    ASSERT_TRUE(op.ok()) << name;
+    const json::Value& config = op.value()->config();
+    for (const ParamSpec& p : schema->params()) {
+      if (p.def.is_null()) continue;  // OP computes its own default
+      const json::Value* echoed = config.as_object().Find(p.key);
+      if (echoed == nullptr) continue;  // OP doesn't echo this param
+      if (p.def.is_number() && echoed->is_number()) {
+        EXPECT_EQ(p.def.as_double(), echoed->as_double())
+            << name << "." << p.key;
+      } else {
+        EXPECT_EQ(p.def, *echoed) << name << "." << p.key;
+      }
+    }
+  }
+}
+
+TEST(OpSchemaTest, ParamSpecsHaveDocsAndValidRanges) {
+  for (const OpSchema* schema : OpRegistry::Global().AllSchemas()) {
+    for (const ParamSpec& p : schema->params()) {
+      EXPECT_LE(p.min_value, p.max_value)
+          << schema->op_name() << "." << p.key;
+      if (p.def.is_number() && p.has_range()) {
+        EXPECT_GE(p.def.as_double(), p.min_value)
+            << schema->op_name() << "." << p.key;
+        EXPECT_LE(p.def.as_double(), p.max_value)
+            << schema->op_name() << "." << p.key;
+      }
+    }
+  }
+}
+
+TEST(OpSchemaTest, ToJsonRoundTripsBasics) {
+  const OpSchema* schema =
+      OpRegistry::Global().FindSchema("language_id_score_filter");
+  ASSERT_NE(schema, nullptr);
+  json::Value v = schema->ToJson();
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.as_object().Find("name")->as_string(),
+            "language_id_score_filter");
+  const json::Value* params = v.as_object().Find("params");
+  ASSERT_TRUE(params != nullptr && params->is_array());
+  EXPECT_GE(params->as_array().size(), 3u);  // text_key, lang, min_score
+}
+
 // ----------------------------------------------------------- formatters --
 
 TEST(FormatterTest, JsonlFormatter) {

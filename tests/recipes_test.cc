@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/executor.h"
+#include "lint/linter.h"
 #include "ops/registry.h"
 #include "workload/generator.h"
 
@@ -101,6 +102,16 @@ TEST_P(ShippedRecipeTest, ParsesBuildsAndRuns) {
   ASSERT_TRUE(result.ok()) << GetParam() << ": "
                            << result.status().ToString();
   EXPECT_LE(result.value().NumRows(), report.rows_in);
+}
+
+TEST_P(ShippedRecipeTest, LintsWithZeroErrors) {
+  auto recipe = core::Recipe::FromFile(GetParam());
+  ASSERT_TRUE(recipe.ok()) << recipe.status().ToString();
+  lint::RecipeLinter linter(ops::OpRegistry::Global());
+  lint::LintReport report = linter.Lint(recipe.value());
+  EXPECT_EQ(report.errors(), 0u) << GetParam() << ":\n" << report.ToString();
+  EXPECT_EQ(report.warnings(), 0u)
+      << GetParam() << ":\n" << report.ToString();
 }
 
 INSTANTIATE_TEST_SUITE_P(

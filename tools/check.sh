@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# One-shot hygiene gate: sanitized build, full test suite, and a lint pass
+# over every shipped recipe. Run from anywhere inside the repo.
+#
+# Usage: tools/check.sh [build-dir]   (default: build-check)
+
+set -euo pipefail
+
+repo_dir="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_dir}/build-check}"
+
+echo "== configure (ASan+UBSan, -Werror) =="
+cmake -B "${build_dir}" -S "${repo_dir}" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DDJ_SANITIZE=address,undefined \
+  -DDJ_WERROR=ON
+
+echo "== build =="
+cmake --build "${build_dir}" -j
+
+echo "== test =="
+ctest --test-dir "${build_dir}" --output-on-failure -j4
+
+echo "== lint shipped recipes =="
+"${build_dir}/tools/dj_lint" --strict "${repo_dir}"/configs/recipes/*.yaml
+
+echo "check.sh: all green"

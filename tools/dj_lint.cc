@@ -1,0 +1,154 @@
+// dj_lint: static recipe analyzer. Checks recipes against the OP registry's
+// declared parameter schemas and the fusion planner without touching any
+// data — a typo'd OP name or param key is caught in milliseconds instead of
+// minutes into a run.
+//
+// Usage:
+//   dj_lint [--json] [--strict] [--no-fusion-notes] recipe.yaml [more.yaml]
+//   dj_lint --ops [--json]          # list OPs and their declared params
+//
+// Exit codes: 0 = no errors (warnings/notes allowed; --strict promotes
+// warnings), 1 = lint errors or unreadable/unparseable recipe, 2 = usage
+// error.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/recipe.h"
+#include "json/writer.h"
+#include "lint/linter.h"
+#include "ops/registry.h"
+
+namespace {
+
+struct Args {
+  std::vector<std::string> recipes;
+  bool json = false;
+  bool strict = false;
+  bool fusion_notes = true;
+  bool list_ops = false;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json] [--strict] [--no-fusion-notes] "
+               "recipe.yaml [more.yaml ...]\n"
+               "       %s --ops [--json]\n",
+               argv0, argv0);
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--json") {
+      args->json = true;
+    } else if (flag == "--strict") {
+      args->strict = true;
+    } else if (flag == "--no-fusion-notes") {
+      args->fusion_notes = false;
+    } else if (flag == "--ops") {
+      args->list_ops = true;
+    } else if (!flag.empty() && flag[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    } else {
+      args->recipes.push_back(flag);
+    }
+  }
+  return args->list_ops || !args->recipes.empty();
+}
+
+int ListOps(const dj::ops::OpRegistry& registry, bool as_json) {
+  if (as_json) {
+    dj::json::Array ops;
+    for (const dj::ops::OpSchema* schema : registry.AllSchemas()) {
+      ops.push_back(schema->ToJson());
+    }
+    dj::json::Object root;
+    root.Set("ops", dj::json::Value(std::move(ops)));
+    dj::json::WriteOptions pretty{.pretty = true};
+    std::printf("%s\n",
+                dj::json::Write(dj::json::Value(std::move(root)), pretty)
+                    .c_str());
+    return 0;
+  }
+  for (const std::string& name : registry.Names()) {
+    const dj::ops::OpSchema* schema = registry.FindSchema(name);
+    if (schema == nullptr) {
+      std::printf("%s (no declared schema)\n", name.c_str());
+      continue;
+    }
+    std::printf("%s [%s]\n", name.c_str(), dj::ops::OpKindName(schema->kind()));
+    for (const dj::ops::ParamSpec& p : schema->params()) {
+      std::string line = "  " + p.key + ": " + dj::ops::ParamTypeName(p.type);
+      if (!p.def.is_null()) {
+        line += " = " + dj::json::Write(p.def);
+      }
+      if (!p.doc.empty()) line += "  # " + p.doc;
+      std::printf("%s\n", line.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+
+  const dj::ops::OpRegistry& registry = dj::ops::OpRegistry::Global();
+  if (args.list_ops) return ListOps(registry, args.json);
+
+  dj::lint::RecipeLinter::Options options;
+  options.fusion_notes = args.fusion_notes;
+  dj::lint::RecipeLinter linter(registry, options);
+
+  bool failed = false;
+  dj::json::Array files;
+  for (const std::string& path : args.recipes) {
+    auto recipe = dj::core::Recipe::FromFile(path);
+    if (!recipe.ok()) {
+      if (args.json) {
+        dj::json::Object entry;
+        entry.Set("path", dj::json::Value(path));
+        entry.Set("parse_error",
+                  dj::json::Value(recipe.status().ToString()));
+        files.emplace_back(std::move(entry));
+      } else {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     recipe.status().ToString().c_str());
+      }
+      failed = true;
+      continue;
+    }
+    dj::lint::LintReport report = linter.Lint(recipe.value());
+    if (!report.ok() || (args.strict && report.warnings() > 0)) {
+      failed = true;
+    }
+    if (args.json) {
+      dj::json::Object entry;
+      entry.Set("path", dj::json::Value(path));
+      dj::json::Value body = report.ToJson();
+      for (auto& [key, value] : body.as_object().entries()) {
+        entry.Set(key, std::move(value));
+      }
+      files.emplace_back(std::move(entry));
+    } else {
+      std::printf("%s:\n%s", path.c_str(), report.ToString().c_str());
+    }
+  }
+
+  if (args.json) {
+    dj::json::Object root;
+    root.Set("files", dj::json::Value(std::move(files)));
+    root.Set("ok", dj::json::Value(!failed));
+    dj::json::WriteOptions pretty{.pretty = true};
+    std::printf("%s\n",
+                dj::json::Write(dj::json::Value(std::move(root)), pretty)
+                    .c_str());
+  }
+  return failed ? 1 : 0;
+}

@@ -4,9 +4,11 @@
 //
 // Usage:
 //   dj_process --recipe recipe.yaml [--input in.jsonl] [--output out.jsonl]
-//              [--np N] [--fusion] [--trace] [--cache-dir DIR]
+//              [--np N] [--fusion] [--trace] [--cache-dir DIR] [--no-verify]
 //
 // --input/--output override the recipe's dataset_path/export_path.
+// The recipe is linted before any data is touched; lint errors abort the
+// run unless --no-verify is given.
 
 #include <cstdio>
 #include <cstring>
@@ -15,6 +17,7 @@
 #include "core/executor.h"
 #include "core/tracer.h"
 #include "data/io.h"
+#include "lint/linter.h"
 #include "ops/formatters/formatters.h"
 #include "ops/registry.h"
 
@@ -27,6 +30,7 @@ struct Args {
   int np = 0;  // 0 = use recipe value
   bool fusion = false;
   bool trace = false;
+  bool no_verify = false;
   std::string cache_dir;
 };
 
@@ -34,7 +38,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --recipe recipe.yaml [--input in.jsonl] "
                "[--output out.jsonl] [--np N] [--fusion] [--trace] "
-               "[--cache-dir DIR]\n",
+               "[--cache-dir DIR] [--no-verify]\n",
                argv0);
   return 2;
 }
@@ -65,6 +69,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->fusion = true;
     } else if (flag == "--trace") {
       args->trace = true;
+    } else if (flag == "--no-verify") {
+      args->no_verify = true;
     } else if (flag == "--cache-dir") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -103,6 +109,25 @@ int main(int argc, char** argv) {
   if (recipe.value().dataset_path.empty()) {
     std::fprintf(stderr, "no input: set --input or dataset_path\n");
     return 1;
+  }
+
+  // Pre-flight static analysis: a typo'd OP or param key should fail here,
+  // not minutes into a processing run.
+  dj::lint::RecipeLinter linter(dj::ops::OpRegistry::Global());
+  dj::lint::LintReport lint_report = linter.Lint(recipe.value());
+  if (!lint_report.diagnostics.empty()) {
+    std::fprintf(stderr, "lint: %s\n%s", args.recipe_path.c_str(),
+                 lint_report.ToString().c_str());
+  }
+  if (!lint_report.ok()) {
+    if (!args.no_verify) {
+      std::fprintf(stderr,
+                   "aborting: recipe has %zu lint error(s); "
+                   "pass --no-verify to run anyway\n",
+                   lint_report.errors());
+      return 1;
+    }
+    std::fprintf(stderr, "--no-verify: continuing despite lint errors\n");
   }
 
   auto dataset = dj::ops::LoadDataset(recipe.value().dataset_path);
