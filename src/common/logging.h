@@ -3,15 +3,24 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace dj {
 
 /// Severity levels for the library logger.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Process-wide minimum level; messages below it are dropped. Default: Info.
+/// Process-wide minimum level; messages below it are dropped. The initial
+/// value comes from the DJ_LOG_LEVEL environment variable
+/// (debug|info|warning|error, case-insensitive; "warn" also accepted),
+/// falling back to Info when unset or unparseable. SetLogLevel overrides
+/// the environment.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses a level name as accepted by DJ_LOG_LEVEL. Returns false (leaving
+/// `out` untouched) for anything else.
+bool ParseLogLevel(std::string_view text, LogLevel* out);
 
 namespace internal_logging {
 

@@ -25,7 +25,11 @@ ResourceMonitor::~ResourceMonitor() {
 }
 
 uint64_t ResourceMonitor::CurrentRssBytes() {
-  FILE* f = std::fopen("/proc/self/statm", "r");
+  return ReadRssBytesFrom("/proc/self/statm");
+}
+
+uint64_t ResourceMonitor::ReadRssBytesFrom(const char* statm_path) {
+  FILE* f = std::fopen(statm_path, "r");
   if (f == nullptr) return 0;
   unsigned long long size = 0, resident = 0;
   int n = std::fscanf(f, "%llu %llu", &size, &resident);
@@ -33,6 +37,11 @@ uint64_t ResourceMonitor::CurrentRssBytes() {
   if (n != 2) return 0;
   return static_cast<uint64_t>(resident) *
          static_cast<uint64_t>(sysconf(_SC_PAGESIZE));
+}
+
+std::vector<ResourceSample> ResourceMonitor::Samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
 }
 
 double ResourceMonitor::CurrentCpuSeconds() {

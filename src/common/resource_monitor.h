@@ -42,8 +42,15 @@ class ResourceMonitor {
   void Start();
   ResourceReport Stop();
 
+  /// Snapshot of the samples collected so far (or, after Stop(), of the
+  /// whole monitored interval — samples persist until the next Start()).
+  std::vector<ResourceSample> Samples() const;
+
   /// Current resident set size of this process, 0 if unavailable.
   static uint64_t CurrentRssBytes();
+  /// RSS parsed from a statm-format file; 0 when the file is missing or
+  /// malformed. Seam for testing the /proc read-failure path.
+  static uint64_t ReadRssBytesFrom(const char* statm_path);
   /// Cumulative user+system CPU seconds of this process.
   static double CurrentCpuSeconds();
 
@@ -53,7 +60,7 @@ class ResourceMonitor {
   double interval_seconds_;
   std::atomic<bool> running_{false};
   std::thread sampler_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::vector<ResourceSample> samples_;
   double start_wall_ = 0;
   double start_cpu_ = 0;

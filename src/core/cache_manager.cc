@@ -32,18 +32,27 @@ std::string CacheManager::PathFor(uint64_t key) const {
   return dir_ + "/" + buf + (compression_ ? ".djds.djlz" : ".djds");
 }
 
+void CacheManager::Bump(std::string_view counter, uint64_t delta) const {
+  if (metrics_ != nullptr) metrics_->GetCounter(counter)->Add(delta);
+}
+
 bool CacheManager::Contains(uint64_t key) const {
   std::error_code ec;
-  return fs::exists(PathFor(key), ec);
+  bool present = fs::exists(PathFor(key), ec);
+  if (!present) Bump("cache.miss");
+  return present;
 }
 
 Result<data::Dataset> CacheManager::Load(uint64_t key) const {
   std::string path = PathFor(key);
   auto content = data::ReadFile(path);
   if (!content.ok()) {
+    Bump("cache.miss");
     return Status::NotFound("cache miss for key " + path);
   }
   std::string blob = std::move(content).value();
+  Bump("cache.hit");
+  Bump("cache.load_bytes", blob.size());
   if (compress::IsFrame(blob)) {
     DJ_ASSIGN_OR_RETURN(blob, compress::DecompressFrame(blob));
   }
@@ -53,6 +62,8 @@ Result<data::Dataset> CacheManager::Load(uint64_t key) const {
 Status CacheManager::Store(uint64_t key, const data::Dataset& dataset) const {
   std::string blob = data::SerializeDataset(dataset);
   if (compression_) blob = compress::CompressFrame(blob);
+  Bump("cache.stores");
+  Bump("cache.store_bytes", blob.size());
   return data::WriteFile(PathFor(key), blob);
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "data/dataset.h"
+#include "obs/metrics.h"
 
 namespace dj::core {
 
@@ -26,6 +27,11 @@ class CacheManager {
 
   const std::string& dir() const { return dir_; }
   bool compression() const { return compression_; }
+
+  /// Attaches a metrics sink (not owned; nullptr detaches): Contains misses
+  /// bump "cache.miss", successful Loads bump "cache.hit" and
+  /// "cache.load_bytes", Stores bump "cache.stores" and "cache.store_bytes".
+  void SetMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
   /// Extends a running key with the next OP's effective config.
   static uint64_t ExtendKey(uint64_t key, std::string_view op_name,
@@ -54,9 +60,11 @@ class CacheManager {
 
  private:
   std::string PathFor(uint64_t key) const;
+  void Bump(std::string_view counter, uint64_t delta = 1) const;
 
   std::string dir_;
   bool compression_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace dj::core

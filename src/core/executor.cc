@@ -49,14 +49,33 @@ Result<std::vector<std::unique_ptr<ops::Op>>> BuildOps(
 
 std::string RunReport::ToString() const {
   std::string out;
-  char buf[200];
-  std::snprintf(buf, sizeof(buf), "%-44s %-13s %9s %9s %9s %6s\n", "op",
-                "kind", "rows_in", "rows_out", "sec", "cache");
+  char buf[240];
+  std::snprintf(buf, sizeof(buf), "%-44s %-13s %9s %9s %9s %11s %7s %6s\n",
+                "op", "kind", "rows_in", "rows_out", "sec", "rows/s",
+                "%time", "cache");
   out += buf;
+  // %-of-total uses the sum of per-OP seconds, not wall time, so cached
+  // (zero-second) prefixes don't make the executed suffix sum to < 100%.
+  double seconds_sum = 0;
+  for (const OpReport& r : op_reports) seconds_sum += r.seconds;
   for (const OpReport& r : op_reports) {
-    std::snprintf(buf, sizeof(buf), "%-44s %-13s %9zu %9zu %9.3f %6s\n",
+    char throughput[32];
+    if (r.seconds > 0) {
+      std::snprintf(throughput, sizeof(throughput), "%.0f",
+                    static_cast<double>(r.rows_in) / r.seconds);
+    } else {
+      std::snprintf(throughput, sizeof(throughput), "-");
+    }
+    char pct[16];
+    if (seconds_sum > 0) {
+      std::snprintf(pct, sizeof(pct), "%.1f%%", r.seconds / seconds_sum * 100);
+    } else {
+      std::snprintf(pct, sizeof(pct), "-");
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "%-44s %-13s %9zu %9zu %9.3f %11s %7s %6s\n",
                   r.name.c_str(), r.kind.c_str(), r.rows_in, r.rows_out,
-                  r.seconds, r.cache_hit ? "hit" : "-");
+                  r.seconds, throughput, pct, r.cache_hit ? "hit" : "-");
     out += buf;
   }
   std::snprintf(buf, sizeof(buf),
@@ -90,9 +109,14 @@ Status Executor::RunMapper(ops::Mapper* mapper, data::Dataset* dataset,
   if (options_.tracer != nullptr) {
     before = SnapshotTexts(dataset, mapper->text_key());
   }
-  DJ_RETURN_IF_ERROR(dataset->Map(
-      [mapper](data::RowRef row) { return mapper->ProcessRow(row, nullptr); },
-      pool));
+  {
+    obs::Span span(options_.spans, "batch:" + mapper->name(), "batch");
+    DJ_RETURN_IF_ERROR(dataset->Map(
+        [mapper](data::RowRef row) {
+          return mapper->ProcessRow(row, nullptr);
+        },
+        pool));
+  }
   if (before.has_value()) {
     for (size_t i = 0; i < dataset->NumRows(); ++i) {
       std::string_view after = dataset->Row(i).GetText(mapper->text_key());
@@ -128,6 +152,7 @@ Status Executor::RunFilters(const std::vector<ops::Filter*>& filters,
     }
     return true;
   };
+  obs::Span span(options_.spans, "batch:" + filters.front()->name(), "batch");
   DJ_ASSIGN_OR_RETURN(data::Dataset filtered, dataset->Filter(pred, pool));
   *dataset = std::move(filtered);
   return Status::Ok();
@@ -141,6 +166,7 @@ Status Executor::RunDeduplicator(ops::Deduplicator* dedup,
   if (options_.tracer != nullptr) {
     texts = SnapshotTexts(dataset, dedup->text_key());
   }
+  obs::Span span(options_.spans, "batch:" + dedup->name(), "batch");
   DJ_ASSIGN_OR_RETURN(
       data::Dataset result,
       dedup->Deduplicate(std::move(*dataset), pool,
@@ -186,6 +212,7 @@ Result<data::Dataset> Executor::Run(
 Result<data::Dataset> Executor::Run(data::Dataset dataset,
                                     const std::vector<ops::Op*>& ops,
                                     RunReport* report) {
+  obs::Span run_span(options_.spans, "executor.run", "executor");
   Stopwatch total_watch;
   RunReport local_report;
   RunReport* rep = report != nullptr ? report : &local_report;
@@ -238,7 +265,9 @@ Result<data::Dataset> Executor::Run(data::Dataset dataset,
   // Cache scan: the longest cached prefix wins (deepest key_after hit).
   std::optional<CacheManager> cache;
   if (options_.use_cache && !options_.cache_dir.empty()) {
+    obs::Span scan_span(options_.spans, "cache.scan", "cache");
     cache.emplace(options_.cache_dir, options_.cache_compression);
+    cache->SetMetrics(options_.metrics);
     for (size_t i = plan.size(); i > start_unit; --i) {
       if (!cache->Contains(key_before[i])) continue;
       auto loaded = cache->Load(key_before[i]);
@@ -257,6 +286,10 @@ Result<data::Dataset> Executor::Run(data::Dataset dataset,
                                     : ops::OpKindName(plan[j].op->kind());
         r.rows_in = r.rows_out = dataset.NumRows();
         r.cache_hit = true;
+        if (options_.spans != nullptr) {
+          options_.spans->EmitInstant("cache.hit:" + r.name, "cache",
+                                      options_.spans->NowMicros());
+        }
         rep->op_reports.push_back(std::move(r));
         ++rep->cache_hits;
       }
@@ -284,16 +317,31 @@ Result<data::Dataset> Executor::Run(data::Dataset dataset,
                               r.name);
     }
 
-    Status status = RunUnit(plan[i], &dataset, pool ? &*pool : nullptr);
-    if (!status.ok()) {
-      return Status(status.code(),
-                    "OP '" + r.name + "' failed: " + status.message());
+    {
+      obs::Span unit_span(options_.spans, "unit:" + r.name, "op");
+      Status status = RunUnit(plan[i], &dataset, pool ? &*pool : nullptr);
+      if (!status.ok()) {
+        return Status(status.code(),
+                      "OP '" + r.name + "' failed: " + status.message());
+      }
     }
     r.rows_out = dataset.NumRows();
     r.seconds = unit_watch.ElapsedSeconds();
+    if (options_.metrics != nullptr) {
+      options_.metrics->GetCounter("op." + r.name + ".rows_in")
+          ->Add(r.rows_in);
+      options_.metrics->GetCounter("op." + r.name + ".rows_out")
+          ->Add(r.rows_out);
+      options_.metrics->GetGauge("op." + r.name + ".rows_per_sec")
+          ->Set(r.seconds > 0 ? static_cast<double>(r.rows_in) / r.seconds
+                              : 0.0);
+      options_.metrics->GetHistogram("executor.unit_seconds")
+          ->Observe(r.seconds);
+    }
     rep->op_reports.push_back(std::move(r));
 
     if (cache.has_value()) {
+      obs::Span store_span(options_.spans, "cache.store", "cache");
       Status s = cache->Store(key_before[i + 1], dataset);
       if (!s.ok()) DJ_LOG(Warning) << "cache store failed: " << s.ToString();
     }
@@ -301,13 +349,23 @@ Result<data::Dataset> Executor::Run(data::Dataset dataset,
     bool checkpoint_due =
         (i + 1) % static_cast<size_t>(every) == 0 || i + 1 == plan.size();
     if (checkpoints.has_value() && checkpoint_due) {
+      obs::Span ckpt_span(options_.spans, "checkpoint.save", "checkpoint");
       CheckpointState state;
       state.next_op_index = i + 1;
       state.pipeline_key = key_before[i + 1];
       state.dataset = dataset;
       Status s = checkpoints->Save(state);
       if (!s.ok()) DJ_LOG(Warning) << "checkpoint failed: " << s.ToString();
+      if (options_.metrics != nullptr) {
+        options_.metrics->GetCounter("checkpoint.saves")->Increment();
+      }
     }
+  }
+
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetCounter("executor.runs")->Increment();
+    options_.metrics->GetCounter("executor.rows_in")->Add(rep->rows_in);
+    options_.metrics->GetCounter("executor.rows_out")->Add(dataset.NumRows());
   }
 
   rep->rows_out = dataset.NumRows();

@@ -12,6 +12,8 @@
 #include "core/recipe.h"
 #include "core/tracer.h"
 #include "data/dataset.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "ops/registry.h"
 
 namespace dj::core {
@@ -67,6 +69,14 @@ class Executor {
     int checkpoint_every_n_units = 1;
 
     Tracer* tracer = nullptr;  ///< not owned; may be null
+
+    /// Observability sinks (not owned; may be null — the hot path then
+    /// degrades to a pointer check). Metrics get per-OP rows_in/rows_out
+    /// counters, rows_per_sec gauges, a unit-seconds histogram, and (via
+    /// CacheManager) cache hit/miss/byte counters; spans get one lane per
+    /// worker thread with per-unit and per-batch complete events.
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::SpanRecorder* spans = nullptr;
 
     /// Test hook: the OP at this pipeline index fails after its unit starts
     /// (-1 = disabled). Exercises checkpoint-on-failure.

@@ -61,6 +61,21 @@ void Tracer::RecordDuplicate(std::string_view op_name, std::string_view kept,
   }
 }
 
+std::vector<Tracer::MapperEdit> Tracer::edits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return edits_;
+}
+
+std::vector<Tracer::FilteredSample> Tracer::filtered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return filtered_;
+}
+
+std::vector<Tracer::DuplicateRecord> Tracer::duplicates() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return duplicates_;
+}
+
 std::vector<Tracer::OpTotals> Tracer::Totals() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return totals_;

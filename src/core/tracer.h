@@ -50,11 +50,12 @@ class Tracer {
   void RecordDuplicate(std::string_view op_name, std::string_view kept,
                        std::string_view removed, double similarity);
 
-  const std::vector<MapperEdit>& edits() const { return edits_; }
-  const std::vector<FilteredSample>& filtered() const { return filtered_; }
-  const std::vector<DuplicateRecord>& duplicates() const {
-    return duplicates_;
-  }
+  // Locked snapshots, by value: worker threads may still be appending when
+  // a reader asks for the records, so handing out references to the live
+  // vectors would race with reallocation.
+  std::vector<MapperEdit> edits() const;
+  std::vector<FilteredSample> filtered() const;
+  std::vector<DuplicateRecord> duplicates() const;
 
   /// Per-OP totals, in first-seen order.
   std::vector<OpTotals> Totals() const;

@@ -94,6 +94,20 @@ Result<data::Dataset> DistributedExecutor::Run(
   double node_speedup =
       EffectiveSpeedup(cluster.workers_per_node, cluster.parallel_efficiency);
 
+  // Modeled-timeline emission: `cursor` advances in modeled seconds from
+  // `base_ts`; every lane event is placed on that clock, so the exported
+  // trace shows the simulated cluster schedule, not local wall time.
+  const uint64_t base_ts =
+      options_.spans != nullptr ? options_.spans->NowMicros() : 0;
+  double cursor = 0;
+  auto emit_lane = [&](const std::string& name, int64_t lane, double start_s,
+                       double dur_s) {
+    if (options_.spans == nullptr) return;
+    options_.spans->EmitCompleteOnLane(
+        name, "dist", base_ts + static_cast<uint64_t>(start_s * 1e6),
+        static_cast<uint64_t>(dur_s * 1e6), lane);
+  };
+
   // --- Modeled data loading ---------------------------------------------
   switch (options_.backend) {
     case Backend::kSingleNode:
@@ -114,7 +128,23 @@ Result<data::Dataset> DistributedExecutor::Run(
   if (distributed) {
     rep->overhead_seconds =
         cluster.scheduling_overhead_seconds * static_cast<double>(nodes);
+    emit_lane("sched:" + std::string(rep->backend), kDriverLane, cursor,
+              rep->overhead_seconds);
+    cursor += rep->overhead_seconds;
   }
+  if (options_.backend == Backend::kRay) {
+    // Every node loads its shard concurrently: one lane event per node.
+    for (size_t n = 0; n < nodes; ++n) {
+      emit_lane("load:shard" + std::to_string(n),
+                kDriverLane + 1 + static_cast<int64_t>(n), cursor,
+                rep->load_seconds);
+    }
+  } else {
+    // Single-stream (local disk or the serial Beam driver stage).
+    emit_lane("load:" + std::string(rep->backend), kDriverLane, cursor,
+              rep->load_seconds);
+  }
+  cursor += rep->load_seconds;
 
   // --- Real processing + modeled compute time ---------------------------
   core::Executor::Options exec_options;
@@ -127,11 +157,14 @@ Result<data::Dataset> DistributedExecutor::Run(
   std::vector<data::Dataset> shards = Shard(dataset, nodes);
   dataset = data::Dataset();  // released; state lives in shards
 
-  for (const Segment& segment : segments) {
+  for (size_t seg = 0; seg < segments.size(); ++seg) {
+    const Segment& segment = segments[seg];
+    const std::string seg_tag = "seg" + std::to_string(seg);
     if (segment.global == nullptr) {
       // Row-local segment: every node processes its shard independently.
       double slowest_node = 0;
-      for (data::Dataset& shard : shards) {
+      for (size_t n = 0; n < shards.size(); ++n) {
+        data::Dataset& shard = shards[n];
         Stopwatch watch;
         auto processed =
             shard_executor.Run(std::move(shard), segment.row_local, nullptr);
@@ -139,9 +172,13 @@ Result<data::Dataset> DistributedExecutor::Run(
         shard = std::move(processed).value();
         double measured = watch.ElapsedSeconds();
         rep->measured_compute_seconds += measured;
-        slowest_node = std::max(slowest_node, measured / node_speedup);
+        double modeled = measured / node_speedup;
+        emit_lane(seg_tag + ":ops", kDriverLane + 1 + static_cast<int64_t>(n),
+                  cursor, modeled);
+        slowest_node = std::max(slowest_node, modeled);
       }
       rep->compute_seconds += slowest_node;
+      cursor += slowest_node;  // barrier: next stage waits for the slowest
     } else {
       // Dataset-level OP: shuffle all shards to the driver, run globally,
       // re-shard. The shuffle cost is paid on the network for distributed
@@ -151,8 +188,10 @@ Result<data::Dataset> DistributedExecutor::Run(
         for (const data::Dataset& shard : shards) {
           current_mib += static_cast<double>(shard.ApproxMemoryBytes()) / kMiB;
         }
-        rep->shuffle_seconds +=
-            current_mib * cluster.network_seconds_per_mib;
+        double shuffle = current_mib * cluster.network_seconds_per_mib;
+        rep->shuffle_seconds += shuffle;
+        emit_lane(seg_tag + ":shuffle", kDriverLane, cursor, shuffle);
+        cursor += shuffle;
       }
       data::Dataset merged = Merge(&shards);
       std::vector<ops::Op*> single{segment.global};
@@ -161,7 +200,11 @@ Result<data::Dataset> DistributedExecutor::Run(
       if (!processed.ok()) return processed.status();
       double measured = watch.ElapsedSeconds();
       rep->measured_compute_seconds += measured;
-      rep->compute_seconds += measured / node_speedup;
+      double modeled = measured / node_speedup;
+      rep->compute_seconds += modeled;
+      emit_lane(seg_tag + ":" + segment.global->name(), kDriverLane, cursor,
+                modeled);
+      cursor += modeled;
       shards = Shard(processed.value(), nodes);
     }
   }
@@ -170,6 +213,16 @@ Result<data::Dataset> DistributedExecutor::Run(
   rep->rows_out = result.NumRows();
   rep->total_seconds = rep->load_seconds + rep->compute_seconds +
                        rep->shuffle_seconds + rep->overhead_seconds;
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* m = options_.metrics;
+    m->GetCounter("dist.runs")->Increment();
+    m->GetCounter("dist.shards_processed")->Add(nodes);
+    m->GetGauge("dist.load_seconds")->Set(rep->load_seconds);
+    m->GetGauge("dist.compute_seconds")->Set(rep->compute_seconds);
+    m->GetGauge("dist.shuffle_seconds")->Set(rep->shuffle_seconds);
+    m->GetGauge("dist.overhead_seconds")->Set(rep->overhead_seconds);
+    m->GetGauge("dist.total_seconds")->Set(rep->total_seconds);
+  }
   return result;
 }
 

@@ -8,6 +8,8 @@
 #include "core/executor.h"
 #include "data/dataset.h"
 #include "dist/cluster.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "ops/op_base.h"
 
 namespace dj::dist {
@@ -37,7 +39,18 @@ class DistributedExecutor {
     /// Applied per shard (fusion etc.); workers are taken from `cluster`.
     bool op_fusion = false;
     bool op_reorder = false;
+
+    /// Observability sinks (not owned; may be null). The span recorder gets
+    /// the *modeled* cluster timeline — one lane per simulated node plus a
+    /// driver lane — so the Fig. 10 Ray-vs-Beam shape (parallel vs serial
+    /// loading, shuffle barriers) is visible in chrome://tracing. Lane ids
+    /// start at kDriverLane to stay clear of real thread lanes.
+    obs::SpanRecorder* spans = nullptr;
+    obs::MetricsRegistry* metrics = nullptr;
   };
+
+  /// Trace lane of the modeled driver; node i uses kDriverLane + 1 + i.
+  static constexpr int64_t kDriverLane = 100;
 
   explicit DistributedExecutor(Options options);
 

@@ -1,0 +1,123 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "data/io.h"
+#include "json/writer.h"
+
+namespace dj::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::Observe(double v) {
+  size_t idx =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    out.push_back(b.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (upper_bounds.empty()) upper_bounds = DefaultSecondsBounds();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(upper_bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::vector<double> MetricsRegistry::DefaultSecondsBounds() {
+  return {0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0};
+}
+
+json::Value MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json::Object counters;
+  for (const auto& [name, counter] : counters_) {
+    counters.Set(name, json::Value(counter->value()));
+  }
+  json::Object gauges;
+  for (const auto& [name, gauge] : gauges_) {
+    gauges.Set(name, json::Value(gauge->value()));
+  }
+  json::Object histograms;
+  for (const auto& [name, histogram] : histograms_) {
+    json::Object h;
+    json::Array bounds;
+    for (double b : histogram->bounds()) bounds.emplace_back(b);
+    json::Array buckets;
+    for (uint64_t c : histogram->BucketCounts()) buckets.emplace_back(c);
+    h.Set("bounds", json::Value(std::move(bounds)));
+    h.Set("buckets", json::Value(std::move(buckets)));
+    h.Set("count", json::Value(histogram->count()));
+    h.Set("sum", json::Value(histogram->sum()));
+    histograms.Set(name, json::Value(std::move(h)));
+  }
+  json::Object out;
+  out.Set("counters", json::Value(std::move(counters)));
+  out.Set("gauges", json::Value(std::move(gauges)));
+  out.Set("histograms", json::Value(std::move(histograms)));
+  return json::Value(std::move(out));
+}
+
+Status MetricsRegistry::WriteTo(const std::string& path) const {
+  json::WriteOptions options;
+  options.pretty = true;
+  return data::WriteFile(path, json::Write(SnapshotJson(), options));
+}
+
+}  // namespace dj::obs

@@ -1,0 +1,92 @@
+#ifndef DJ_OBS_RUN_JOURNAL_H_
+#define DJ_OBS_RUN_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "json/value.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace dj::obs {
+
+/// Per-OP execution stats, the obs-side mirror of core::OpReport (obs sits
+/// below core in the dependency graph, so callers convert).
+struct OpStat {
+  std::string name;
+  std::string kind;
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  double seconds = 0;
+  bool cache_hit = false;
+};
+
+/// Whole-run totals.
+struct RunTotals {
+  double total_seconds = 0;
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  uint64_t cache_hits = 0;
+  bool resumed_from_checkpoint = false;
+};
+
+/// Aggregate resource usage (mirror of dj::ResourceReport).
+struct ResourceUsage {
+  double wall_seconds = 0;
+  uint64_t peak_rss_bytes = 0;
+  uint64_t avg_rss_bytes = 0;
+  double cpu_seconds = 0;
+  double avg_cpu_utilization = 0;
+};
+
+/// Merges the three observability streams of one run — executor OP reports,
+/// the metrics registry (cache/checkpoint counters live there), and
+/// resource-monitor samples — into a single machine-readable artifact:
+/// WriteMetrics() emits metrics.json, and resource samples are interleaved
+/// into the span recorder as Chrome counter events so the trace timeline
+/// shows RSS/CPU tracks alongside OP spans. Either stream pointer may be
+/// null; the journal then reports what it has.
+class RunJournal {
+ public:
+  RunJournal(const MetricsRegistry* metrics, SpanRecorder* spans)
+      : metrics_(metrics), spans_(spans) {}
+
+  void SetRunInfo(std::string recipe, std::string dataset);
+  void AddOp(OpStat stat);
+  void SetTotals(const RunTotals& totals);
+  void SetResources(const ResourceUsage& usage);
+
+  /// Adds one resource sample. `wall_seconds_offset` is the sample's offset
+  /// from `base_ts_micros` on the span recorder's clock; with a recorder
+  /// attached, the sample becomes "rss_mib" and "cpu_seconds" counter
+  /// events at that timestamp.
+  void AddResourceSample(double wall_seconds_offset, uint64_t rss_bytes,
+                         double cpu_seconds, uint64_t base_ts_micros = 0);
+
+  /// The merged run report:
+  ///   {"schema_version", "run", "ops": [...], "totals", "cache",
+  ///    "resources", "metrics": <registry snapshot>}
+  json::Value MetricsJson() const;
+
+  /// Pretty-printed MetricsJson() to `path`.
+  Status WriteMetrics(const std::string& path) const;
+
+  /// Delegates to the span recorder; InvalidArgument when none is attached.
+  Status WriteTrace(const std::string& path) const;
+
+ private:
+  const MetricsRegistry* metrics_;
+  SpanRecorder* spans_;
+  std::string recipe_;
+  std::string dataset_;
+  std::vector<OpStat> ops_;
+  RunTotals totals_;
+  ResourceUsage resources_;
+  size_t resource_samples_ = 0;
+};
+
+}  // namespace dj::obs
+
+#endif  // DJ_OBS_RUN_JOURNAL_H_

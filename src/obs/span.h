@@ -1,0 +1,138 @@
+#ifndef DJ_OBS_SPAN_H_
+#define DJ_OBS_SPAN_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "json/value.h"
+
+namespace dj::obs {
+
+/// Low-overhead recorder of Chrome trace events ("trace event format",
+/// loadable in chrome://tracing and Perfetto). Each emitting thread appends
+/// to its own buffer — registration takes the recorder mutex once per
+/// thread, after which appends contend only on the (practically
+/// uncontended) per-thread mutex. Timestamps are microseconds since the
+/// recorder's construction.
+class SpanRecorder {
+ public:
+  SpanRecorder();
+  ~SpanRecorder();
+
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+  /// Microseconds elapsed since this recorder was created.
+  uint64_t NowMicros() const;
+
+  /// Complete event (ph "X") on the calling thread's lane.
+  void EmitComplete(std::string_view name, std::string_view category,
+                    uint64_t ts_micros, uint64_t dur_micros);
+
+  /// Complete event on an explicit lane — used for modeled timelines
+  /// (e.g. one lane per simulated cluster shard).
+  void EmitCompleteOnLane(std::string_view name, std::string_view category,
+                          uint64_t ts_micros, uint64_t dur_micros,
+                          int64_t lane_tid);
+
+  /// Counter event (ph "C"): a named time series Perfetto renders as a
+  /// track, e.g. resource-monitor RSS samples.
+  void EmitCounter(std::string_view series, uint64_t ts_micros, double value);
+
+  /// Instant event (ph "i"), e.g. a cache hit.
+  void EmitInstant(std::string_view name, std::string_view category,
+                   uint64_t ts_micros);
+
+  /// Total events recorded so far (takes the registration mutex).
+  size_t EventCount() const;
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"}; events sorted by ts.
+  json::Value ToJson() const;
+
+  /// Pretty-printed ToJson() to `path` (parent dirs created).
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  struct Event {
+    char ph;            // 'X', 'C', or 'i'
+    std::string name;
+    std::string category;
+    uint64_t ts = 0;
+    uint64_t dur = 0;   // 'X' only
+    int64_t tid = 0;
+    double value = 0;   // 'C' only
+  };
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<Event> events;
+    int64_t tid = 0;
+  };
+
+  ThreadBuffer* LocalBuffer();
+  void Append(Event event);
+
+  uint64_t id_;  ///< process-unique, keys the thread-local buffer cache
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;  ///< guards buffers_
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::atomic<int64_t> next_tid_{1};
+};
+
+/// Process-wide recorder used by the DJ_OBS_SPAN macro so deep layers (OP
+/// batch loops) can emit spans without plumbing a pointer through every
+/// signature. Returns nullptr when none is installed — the Span guard is
+/// then a no-op costing one relaxed atomic load.
+SpanRecorder* GlobalRecorder();
+
+/// Installs (or, with nullptr, uninstalls) the global recorder. The caller
+/// keeps ownership and must uninstall before destroying the recorder.
+void InstallGlobalRecorder(SpanRecorder* recorder);
+
+/// RAII span guard: records a complete event covering its own lifetime.
+/// With a null recorder every member is a no-op.
+class Span {
+ public:
+  Span(SpanRecorder* recorder, std::string_view name,
+       std::string_view category = "dj")
+      : recorder_(recorder) {
+    if (recorder_ != nullptr) {
+      name_ = name;
+      category_ = category;
+      start_ = recorder_->NowMicros();
+    }
+  }
+  ~Span() {
+    if (recorder_ != nullptr) {
+      recorder_->EmitComplete(name_, category_, start_,
+                              recorder_->NowMicros() - start_);
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  SpanRecorder* recorder_;
+  std::string name_;
+  std::string category_;
+  uint64_t start_ = 0;
+};
+
+}  // namespace dj::obs
+
+#define DJ_OBS_CONCAT_INNER(a, b) a##b
+#define DJ_OBS_CONCAT(a, b) DJ_OBS_CONCAT_INNER(a, b)
+
+/// Scoped span against the globally installed recorder (no-op when none).
+#define DJ_OBS_SPAN(name)                                  \
+  ::dj::obs::Span DJ_OBS_CONCAT(dj_obs_span_, __LINE__)(   \
+      ::dj::obs::GlobalRecorder(), (name))
+
+#endif  // DJ_OBS_SPAN_H_

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/string_util.h"
+#include "obs/span.h"
 #include "text/ngram.h"
 #include "text/tokenizer.h"
 
@@ -98,14 +99,18 @@ Result<data::Dataset> DocumentExactDeduplicator::Deduplicate(
   dataset.EnsureColumn(data::kStatsField);
   Status status;
   std::mutex status_mutex;
-  ForEachRow(&dataset, pool, [&](size_t i) {
-    Status s = ComputeHash(dataset.Row(i), nullptr);
-    if (!s.ok()) {
-      std::lock_guard<std::mutex> lock(status_mutex);
-      if (status.ok()) status = std::move(s);
-    }
-  });
+  {
+    DJ_OBS_SPAN("exact_dedup.compute_hashes");
+    ForEachRow(&dataset, pool, [&](size_t i) {
+      Status s = ComputeHash(dataset.Row(i), nullptr);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(status_mutex);
+        if (status.ok()) status = std::move(s);
+      }
+    });
+  }
   DJ_RETURN_IF_ERROR(status);
+  DJ_OBS_SPAN("exact_dedup.select_survivors");
   std::unordered_map<Fingerprint128, size_t, Fingerprint128Hash> first_seen;
   std::vector<size_t> keep;
   keep.reserve(n);
@@ -165,9 +170,13 @@ Result<data::Dataset> DocumentMinHashDeduplicator::Deduplicate(
     std::vector<DuplicatePair>* pairs) {
   size_t n = dataset.NumRows();
   signatures_.assign(n, {});
-  ForEachRow(&dataset, pool,
-             [&](size_t i) { ComputeHash(dataset.Row(i), nullptr); });
+  {
+    DJ_OBS_SPAN("minhash.compute_signatures");
+    ForEachRow(&dataset, pool,
+               [&](size_t i) { ComputeHash(dataset.Row(i), nullptr); });
+  }
   // LSH banding: bucket rows by band keys, verify candidates.
+  DJ_OBS_SPAN("minhash.lsh_candidates");
   UnionFind uf(n);
   std::unordered_map<uint64_t, std::vector<size_t>> buckets;
   for (size_t i = 0; i < n; ++i) {

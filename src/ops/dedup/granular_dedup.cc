@@ -5,6 +5,7 @@
 
 #include "common/hash.h"
 #include "common/string_util.h"
+#include "obs/span.h"
 #include "text/utf8.h"
 
 namespace dj::ops {
@@ -41,15 +42,21 @@ Result<data::Dataset> GranularDeduplicatorBase::Deduplicate(
     std::vector<DuplicatePair>* pairs) {
   size_t n = dataset.NumRows();
   unit_hashes_.assign(n, {});
-  if (pool != nullptr && pool->num_threads() > 1) {
-    pool->ParallelFor(n, [&](size_t begin, size_t end) {
-      for (size_t i = begin; i < end; ++i) ComputeHash(dataset.Row(i), nullptr);
-    });
-  } else {
-    for (size_t i = 0; i < n; ++i) ComputeHash(dataset.Row(i), nullptr);
+  {
+    DJ_OBS_SPAN("granular_dedup.compute_hashes");
+    if (pool != nullptr && pool->num_threads() > 1) {
+      pool->ParallelFor(n, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          ComputeHash(dataset.Row(i), nullptr);
+        }
+      });
+    } else {
+      for (size_t i = 0; i < n; ++i) ComputeHash(dataset.Row(i), nullptr);
+    }
   }
   // Sequential pass: first occurrence of each unit wins, later ones are
   // removed from their samples.
+  DJ_OBS_SPAN("granular_dedup.rewrite_units");
   std::unordered_set<uint64_t> seen;
   std::vector<size_t> keep_rows;
   keep_rows.reserve(n);

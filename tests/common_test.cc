@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/resource_monitor.h"
 #include "common/status.h"
@@ -363,6 +364,76 @@ TEST(ResourceMonitorTest, StartStopProducesReport) {
   EXPECT_GT(report.wall_seconds, 0.0);
   EXPECT_GT(report.peak_rss_bytes, 0u);
   EXPECT_GE(report.peak_rss_bytes, report.avg_rss_bytes);
+}
+
+TEST(ResourceMonitorTest, SamplesAccumulateAndCpuMonotone) {
+  ResourceMonitor monitor(0.005);
+  monitor.Start();
+  volatile double x = 0;
+  for (int i = 0; i < 20000000; ++i) x = x + i;
+  ResourceReport report = monitor.Stop();
+  std::vector<ResourceSample> samples = monitor.Samples();
+  ASSERT_FALSE(samples.empty());
+  double last_wall = -1, last_cpu = -1;
+  for (const ResourceSample& s : samples) {
+    EXPECT_GT(s.wall_seconds, last_wall);
+    EXPECT_GE(s.cpu_seconds, last_cpu);
+    last_wall = s.wall_seconds;
+    last_cpu = s.cpu_seconds;
+    EXPECT_GE(report.peak_rss_bytes, s.rss_bytes);
+  }
+  EXPECT_GE(report.cpu_seconds, 0.0);
+}
+
+TEST(ResourceMonitorTest, DoubleStopIsSafe) {
+  ResourceMonitor monitor(0.01);
+  monitor.Start();
+  ResourceReport first = monitor.Stop();
+  ResourceReport second = monitor.Stop();  // not running: empty report
+  EXPECT_GT(first.wall_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(second.wall_seconds, 0.0);
+  EXPECT_EQ(second.peak_rss_bytes, 0u);
+}
+
+TEST(ResourceMonitorTest, StopWithoutStartIsSafe) {
+  ResourceMonitor monitor;
+  ResourceReport report = monitor.Stop();
+  EXPECT_DOUBLE_EQ(report.wall_seconds, 0.0);
+}
+
+TEST(ResourceMonitorTest, RssReadFailureYieldsZero) {
+  EXPECT_EQ(ResourceMonitor::ReadRssBytesFrom("/nonexistent/statm"), 0u);
+  EXPECT_EQ(ResourceMonitor::ReadRssBytesFrom("/proc/self/environ"), 0u);
+}
+
+// ------------------------------------------------------------- logging ----
+
+TEST(LoggingTest, ParseLogLevelAcceptsKnownNames) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST(LoggingTest, ParseLogLevelRejectsUnknownNames) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_EQ(level, LogLevel::kError) << "failed parse must not modify out";
+}
+
+TEST(LoggingTest, SetLogLevelOverridesEnvironment) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(original);
 }
 
 }  // namespace

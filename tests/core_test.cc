@@ -11,6 +11,9 @@
 #include "core/tracer.h"
 #include "data/io.h"
 #include "json/parser.h"
+#include "json/writer.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "ops/registry.h"
 #include "workload/generator.h"
 
@@ -361,6 +364,63 @@ TEST(ExecutorTest, TracerSeesAllThreeKinds) {
   EXPECT_FALSE(tracer.edits().empty());
   EXPECT_FALSE(tracer.filtered().empty());
   EXPECT_FALSE(tracer.duplicates().empty());
+}
+
+TEST(ExecutorTest, MetricsAndSpansRecorded) {
+  auto ops = FourteenOpPipeline();
+  obs::MetricsRegistry metrics;
+  obs::SpanRecorder spans;
+  Executor::Options options;
+  options.metrics = &metrics;
+  options.spans = &spans;
+  Executor executor(options);
+  RunReport report;
+  ASSERT_TRUE(executor.Run(NoisyCorpus(), ops, &report).ok());
+
+  EXPECT_EQ(metrics.FindCounter("executor.runs")->value(), 1u);
+  EXPECT_EQ(metrics.FindCounter("executor.rows_in")->value(), report.rows_in);
+  EXPECT_EQ(metrics.FindCounter("executor.rows_out")->value(),
+            report.rows_out);
+  // Every OP reported its row counters and unit time.
+  for (const OpReport& r : report.op_reports) {
+    const obs::Counter* rows_in =
+        metrics.FindCounter("op." + r.name + ".rows_in");
+    ASSERT_NE(rows_in, nullptr) << r.name;
+    EXPECT_EQ(rows_in->value(), r.rows_in);
+  }
+  const obs::Histogram* unit_seconds =
+      metrics.FindHistogram("executor.unit_seconds");
+  ASSERT_NE(unit_seconds, nullptr);
+  EXPECT_EQ(unit_seconds->count(), report.op_reports.size());
+  // The trace covers the run plus one span per unit (and batch sections).
+  EXPECT_GE(spans.EventCount(), 1 + report.op_reports.size());
+  std::string trace = json::Write(spans.ToJson());
+  EXPECT_NE(trace.find("executor.run"), std::string::npos);
+  EXPECT_NE(trace.find("unit:"), std::string::npos);
+}
+
+TEST(ExecutorTest, CacheCountersPopulated) {
+  std::string dir = TempDir("cache_metrics");
+  auto run = [&](obs::MetricsRegistry* metrics) {
+    auto ops = FourteenOpPipeline();
+    Executor::Options options;
+    options.use_cache = true;
+    options.cache_dir = dir;
+    options.dataset_source_id = "corpus-v1";
+    options.metrics = metrics;
+    Executor executor(options);
+    RunReport report;
+    auto r = executor.Run(NoisyCorpus(), ops, &report);
+    ASSERT_TRUE(r.ok());
+  };
+  obs::MetricsRegistry cold, warm;
+  run(&cold);
+  EXPECT_GT(cold.FindCounter("cache.miss")->value(), 0u);
+  EXPECT_GT(cold.FindCounter("cache.stores")->value(), 0u);
+  EXPECT_EQ(cold.FindCounter("cache.hit"), nullptr);
+  run(&warm);
+  EXPECT_GT(warm.FindCounter("cache.hit")->value(), 0u);
+  EXPECT_GT(warm.FindCounter("cache.load_bytes")->value(), 0u);
 }
 
 TEST(ExecutorTest, OptionsFromRecipe) {

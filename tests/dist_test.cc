@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "core/executor.h"
 #include "dist/cluster.h"
 #include "dist/distributed_executor.h"
+#include "json/value.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "ops/registry.h"
 #include "workload/generator.h"
 
@@ -149,6 +154,37 @@ TEST(DistributedExecutorTest, PipelineWithoutDedupHasNoShuffle) {
   DistributedReport report;
   ASSERT_TRUE(executor.Run(Corpus(), ops, &report).ok());
   EXPECT_DOUBLE_EQ(report.shuffle_seconds, 0.0);
+}
+
+TEST(DistributedExecutorTest, TraceDrawsShardLanesAndSetsMetrics) {
+  DistributedExecutor::Options options;
+  options.backend = Backend::kRay;
+  options.cluster.num_nodes = 3;
+  obs::SpanRecorder spans;
+  obs::MetricsRegistry metrics;
+  options.spans = &spans;
+  options.metrics = &metrics;
+  DistributedExecutor executor(options);
+  auto ops = Pipeline();
+  DistributedReport report;
+  ASSERT_TRUE(executor.Run(Corpus(), ops, &report).ok());
+
+  // Ray loads in parallel: each of the 3 shards gets its own lane at or
+  // above the driver lane, so Perfetto shows the cluster schedule.
+  json::Value trace = spans.ToJson();
+  const json::Value* events = trace.as_object().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::set<int64_t> lanes;
+  for (const json::Value& e : events->as_array()) {
+    int64_t tid = e.as_object().Find("tid")->as_int();
+    if (tid >= DistributedExecutor::kDriverLane) lanes.insert(tid);
+  }
+  EXPECT_GE(lanes.size(), 3u);
+
+  EXPECT_EQ(metrics.FindCounter("dist.runs")->value(), 1u);
+  EXPECT_EQ(metrics.FindCounter("dist.shards_processed")->value(), 3u);
+  EXPECT_DOUBLE_EQ(metrics.FindGauge("dist.total_seconds")->value(),
+                   report.total_seconds);
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# One-shot hygiene gate: sanitized build, full test suite, and a lint pass
-# over every shipped recipe. Run from anywhere inside the repo.
+# One-shot hygiene gate: sanitized build, full test suite, a lint pass over
+# every shipped recipe, an observability smoke-gate (trace + metrics JSON
+# round-trip), and a ThreadSanitizer pass over the concurrency-heavy tests.
+# Run from anywhere inside the repo.
 #
 # Usage: tools/check.sh [build-dir]   (default: build-check)
 
@@ -23,5 +25,31 @@ ctest --test-dir "${build_dir}" --output-on-failure -j4
 
 echo "== lint shipped recipes =="
 "${build_dir}/tools/dj_lint" --strict "${repo_dir}"/configs/recipes/*.yaml
+
+echo "== trace smoke-gate =="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "${smoke_dir}"' EXIT
+for i in $(seq 1 40); do
+  printf '{"text": "Smoke doc %d: the quick brown fox jumps over the lazy dog %d times in a row."}\n' \
+    "$i" "$((i % 5))"
+done > "${smoke_dir}/in.jsonl"
+"${build_dir}/tools/dj_process" \
+  --recipe "${repo_dir}/configs/recipes/minimal_dedup.yaml" \
+  --input "${smoke_dir}/in.jsonl" \
+  --output "${smoke_dir}/out.jsonl" \
+  --trace-out "${smoke_dir}/trace.json" \
+  --metrics-out "${smoke_dir}/metrics.json"
+"${build_dir}/tools/dj_trace_check" \
+  "${smoke_dir}/trace.json" "${smoke_dir}/metrics.json"
+
+echo "== TSan pass (core/dist/obs tests) =="
+tsan_dir="${build_dir}-tsan"
+cmake -B "${tsan_dir}" -S "${repo_dir}" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DDJ_SANITIZE=thread
+cmake --build "${tsan_dir}" -j --target core_test dist_test obs_test
+"${tsan_dir}/tests/core_test"
+"${tsan_dir}/tests/dist_test"
+"${tsan_dir}/tests/obs_test"
 
 echo "check.sh: all green"

@@ -5,19 +5,31 @@
 // Usage:
 //   dj_process --recipe recipe.yaml [--input in.jsonl] [--output out.jsonl]
 //              [--np N] [--fusion] [--trace] [--cache-dir DIR] [--no-verify]
+//              [--trace-out trace.json] [--metrics-out metrics.json]
 //
 // --input/--output override the recipe's dataset_path/export_path.
 // The recipe is linted before any data is touched; lint errors abort the
 // run unless --no-verify is given.
+//
+// --trace-out writes a Chrome trace-event JSON (open in chrome://tracing or
+// https://ui.perfetto.dev) with per-OP spans and interleaved RSS/CPU
+// counter tracks; --metrics-out writes the machine-readable run report
+// (per-OP rows/seconds, cache hit/miss counters, resource aggregates).
+// Either flag alone enables instrumentation; with neither, the run pays no
+// observability cost beyond null-pointer checks.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "common/resource_monitor.h"
 #include "core/executor.h"
 #include "core/tracer.h"
 #include "data/io.h"
 #include "lint/linter.h"
+#include "obs/metrics.h"
+#include "obs/run_journal.h"
+#include "obs/span.h"
 #include "ops/formatters/formatters.h"
 #include "ops/registry.h"
 
@@ -32,13 +44,16 @@ struct Args {
   bool trace = false;
   bool no_verify = false;
   std::string cache_dir;
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --recipe recipe.yaml [--input in.jsonl] "
                "[--output out.jsonl] [--np N] [--fusion] [--trace] "
-               "[--cache-dir DIR] [--no-verify]\n",
+               "[--cache-dir DIR] [--no-verify] [--trace-out trace.json] "
+               "[--metrics-out metrics.json]\n",
                argv0);
   return 2;
 }
@@ -75,6 +90,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->cache_dir = v;
+    } else if (flag == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->trace_out = v;
+    } else if (flag == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->metrics_out = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -150,10 +173,28 @@ int main(int argc, char** argv) {
   dj::core::Executor::Options options =
       dj::core::Executor::OptionsFromRecipe(recipe.value());
   if (args.trace) options.tracer = &tracer;
+
+  // Observability: both sinks spin up when either output flag is given so
+  // metrics.json can embed the registry snapshot and the trace can carry
+  // resource counter tracks.
+  const bool observe = !args.trace_out.empty() || !args.metrics_out.empty();
+  dj::obs::MetricsRegistry metrics;
+  dj::obs::SpanRecorder spans;
+  dj::ResourceMonitor monitor(0.02);
+  uint64_t monitor_base_ts = 0;
+  if (observe) {
+    options.metrics = &metrics;
+    options.spans = &spans;
+    dj::obs::InstallGlobalRecorder(&spans);  // OP-internal DJ_OBS_SPANs
+    monitor_base_ts = spans.NowMicros();
+    monitor.Start();
+  }
+
   dj::core::Executor executor(options);
   dj::core::RunReport report;
   auto refined =
       executor.Run(std::move(dataset).value(), ops.value(), &report);
+  if (observe) dj::obs::InstallGlobalRecorder(nullptr);
   if (!refined.ok()) {
     std::fprintf(stderr, "run error: %s\n",
                  refined.status().ToString().c_str());
@@ -161,6 +202,49 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", report.ToString().c_str());
   if (args.trace) std::printf("\n%s", tracer.Summary().c_str());
+
+  if (observe) {
+    dj::ResourceReport resources = monitor.Stop();
+    dj::obs::RunJournal journal(&metrics, &spans);
+    journal.SetRunInfo(args.recipe_path, recipe.value().dataset_path);
+    for (const dj::core::OpReport& r : report.op_reports) {
+      journal.AddOp({r.name, r.kind, r.rows_in, r.rows_out, r.seconds,
+                     r.cache_hit});
+    }
+    dj::obs::RunTotals totals;
+    totals.total_seconds = report.total_seconds;
+    totals.rows_in = report.rows_in;
+    totals.rows_out = report.rows_out;
+    totals.cache_hits = report.cache_hits;
+    totals.resumed_from_checkpoint = report.resumed_from_checkpoint;
+    journal.SetTotals(totals);
+    dj::obs::ResourceUsage usage;
+    usage.wall_seconds = resources.wall_seconds;
+    usage.peak_rss_bytes = resources.peak_rss_bytes;
+    usage.avg_rss_bytes = resources.avg_rss_bytes;
+    usage.cpu_seconds = resources.cpu_seconds;
+    usage.avg_cpu_utilization = resources.avg_cpu_utilization;
+    journal.SetResources(usage);
+    for (const dj::ResourceSample& s : monitor.Samples()) {
+      journal.AddResourceSample(s.wall_seconds, s.rss_bytes, s.cpu_seconds,
+                                monitor_base_ts);
+    }
+    if (!args.trace_out.empty()) {
+      if (auto s = journal.WriteTrace(args.trace_out); !s.ok()) {
+        std::fprintf(stderr, "trace-out error: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote trace (%zu events) to %s\n", spans.EventCount(),
+                  args.trace_out.c_str());
+    }
+    if (!args.metrics_out.empty()) {
+      if (auto s = journal.WriteMetrics(args.metrics_out); !s.ok()) {
+        std::fprintf(stderr, "metrics-out error: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote metrics to %s\n", args.metrics_out.c_str());
+    }
+  }
 
   if (!recipe.value().export_path.empty()) {
     if (auto s = dj::data::WriteJsonl(refined.value(),

@@ -1,0 +1,111 @@
+// dj_trace_check: validates the two observability artifacts dj_process
+// emits. Used by tools/check.sh as a smoke-gate: run a shipped recipe with
+// --trace-out/--metrics-out, then assert both files parse as JSON and carry
+// the keys downstream consumers (Perfetto, BENCH trajectory tooling) rely
+// on.
+//
+// Usage: dj_trace_check trace.json metrics.json
+// Exits 0 when both are valid; prints the first violation and exits 1
+// otherwise.
+
+#include <cstdio>
+#include <string>
+
+#include "data/io.h"
+#include "json/parser.h"
+#include "json/value.h"
+
+namespace {
+
+using dj::json::Value;
+
+bool Fail(const char* file, const std::string& why) {
+  std::fprintf(stderr, "dj_trace_check: %s: %s\n", file, why.c_str());
+  return false;
+}
+
+bool CheckTrace(const char* path) {
+  auto content = dj::data::ReadFile(path);
+  if (!content.ok()) return Fail(path, content.status().ToString());
+  auto parsed = dj::json::ParseStrict(content.value());
+  if (!parsed.ok()) return Fail(path, parsed.status().ToString());
+  const Value& root = parsed.value();
+  if (!root.is_object()) return Fail(path, "root is not an object");
+  const Value* events = root.as_object().Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Fail(path, "missing traceEvents array");
+  }
+  if (events->as_array().empty()) return Fail(path, "traceEvents is empty");
+  size_t complete_events = 0;
+  for (const Value& e : events->as_array()) {
+    if (!e.is_object()) return Fail(path, "event is not an object");
+    for (const char* key : {"name", "ph", "ts", "pid", "tid"}) {
+      if (!e.as_object().Contains(key)) {
+        return Fail(path, std::string("event missing key '") + key + "'");
+      }
+    }
+    const std::string& ph = e.as_object().Find("ph")->as_string();
+    if (ph == "X") {
+      if (!e.as_object().Contains("dur")) {
+        return Fail(path, "complete event missing 'dur'");
+      }
+      ++complete_events;
+    }
+  }
+  if (complete_events == 0) {
+    return Fail(path, "no complete ('X') events — no spans were recorded");
+  }
+  std::printf("dj_trace_check: %s ok (%zu events, %zu spans)\n", path,
+              events->as_array().size(), complete_events);
+  return true;
+}
+
+bool CheckMetrics(const char* path) {
+  auto content = dj::data::ReadFile(path);
+  if (!content.ok()) return Fail(path, content.status().ToString());
+  auto parsed = dj::json::ParseStrict(content.value());
+  if (!parsed.ok()) return Fail(path, parsed.status().ToString());
+  const Value& root = parsed.value();
+  if (!root.is_object()) return Fail(path, "root is not an object");
+  for (const char* key :
+       {"schema_version", "run", "ops", "totals", "cache", "resources",
+        "metrics"}) {
+    if (!root.as_object().Contains(key)) {
+      return Fail(path, std::string("missing key '") + key + "'");
+    }
+  }
+  const Value* ops = root.as_object().Find("ops");
+  if (!ops->is_array() || ops->as_array().empty()) {
+    return Fail(path, "'ops' must be a non-empty array");
+  }
+  for (const Value& op : ops->as_array()) {
+    if (!op.is_object()) return Fail(path, "op entry is not an object");
+    for (const char* key :
+         {"name", "kind", "rows_in", "rows_out", "seconds", "rows_per_sec",
+          "cache_hit"}) {
+      if (!op.as_object().Contains(key)) {
+        return Fail(path, std::string("op entry missing key '") + key + "'");
+      }
+    }
+  }
+  const Value* cache = root.as_object().Find("cache");
+  if (!cache->is_object() || !cache->as_object().Contains("hits") ||
+      !cache->as_object().Contains("misses")) {
+    return Fail(path, "'cache' must carry hits/misses counters");
+  }
+  std::printf("dj_trace_check: %s ok (%zu ops)\n", path,
+              ops->as_array().size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s trace.json metrics.json\n", argv[0]);
+    return 2;
+  }
+  bool ok = CheckTrace(argv[1]);
+  ok = CheckMetrics(argv[2]) && ok;
+  return ok ? 0 : 1;
+}
