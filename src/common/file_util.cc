@@ -1,0 +1,42 @@
+#include "common/file_util.h"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace dj {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  bool had_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (had_error) return Status::IoError("read error on '" + path + "'");
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view content) {
+  std::error_code ec;
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  bool had_error = std::ferror(f) != 0 || written != content.size();
+  if (std::fclose(f) != 0) had_error = true;
+  if (had_error) return Status::IoError("write error on '" + path + "'");
+  return Status::Ok();
+}
+
+}  // namespace dj

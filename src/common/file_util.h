@@ -1,0 +1,19 @@
+#ifndef DJ_COMMON_FILE_UTIL_H_
+#define DJ_COMMON_FILE_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace dj {
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `content` to `path`, creating parent directories.
+Status WriteStringToFile(const std::string& path, std::string_view content);
+
+}  // namespace dj
+
+#endif  // DJ_COMMON_FILE_UTIL_H_

@@ -1,9 +1,13 @@
 #include "compress/djlz.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
 #include "common/hash.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace dj::compress {
 namespace {
@@ -47,7 +51,8 @@ void EmitSequence(const uint8_t* lit, size_t lit_len, size_t match_len,
 }
 
 constexpr char kFrameMagic[4] = {'D', 'J', 'L', 'Z'};
-constexpr uint8_t kFrameVersion = 1;
+constexpr uint8_t kFrameVersionV1 = 1;
+constexpr uint8_t kFrameVersionV2 = 2;
 
 void PutU64(uint64_t v, std::string* out) {
   for (int i = 0; i < 8; ++i) {
@@ -59,6 +64,38 @@ uint64_t GetU64(const uint8_t* p) {
   uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
   return v;
+}
+
+/// Bumps the io.* byte counters and the seconds histogram on the globally
+/// installed registry (no-op without one).
+void RecordIoMetrics(const char* op, uint64_t bytes_in, uint64_t bytes_out,
+                     double seconds) {
+  obs::MetricsRegistry* m = obs::GlobalMetrics();
+  if (m == nullptr) return;
+  std::string prefix = std::string("io.") + op;
+  m->GetCounter(prefix + ".bytes_in")->Add(bytes_in);
+  m->GetCounter(prefix + ".bytes_out")->Add(bytes_out);
+  m->GetHistogram(prefix + "_seconds")->Observe(seconds);
+}
+
+/// Legacy single-block frame reader (version 1; written before the block
+/// table existed). Cache/checkpoint files from old runs stay loadable.
+Result<std::string> DecompressFrameV1(std::string_view frame) {
+  const auto* p = reinterpret_cast<const uint8_t*>(frame.data());
+  if (frame.size() < 29) return Status::Corruption("djlz: truncated v1 frame");
+  uint64_t raw_size = GetU64(p + 5);
+  uint64_t block_size = GetU64(p + 13);
+  uint64_t checksum = GetU64(p + 21);
+  if (frame.size() != 29 + block_size) {
+    return Status::Corruption("djlz: frame size mismatch");
+  }
+  DJ_ASSIGN_OR_RETURN(
+      std::string raw,
+      DecompressBlock(frame.substr(29), static_cast<size_t>(raw_size)));
+  if (Fnv1a64(raw) != checksum) {
+    return Status::Corruption("djlz: checksum mismatch");
+  }
+  return raw;
 }
 
 }  // namespace
@@ -155,16 +192,42 @@ Result<std::string> DecompressBlock(std::string_view block,
   return out;
 }
 
-std::string CompressFrame(std::string_view input) {
-  std::string block = CompressBlock(input);
+std::string CompressFrame(std::string_view input, ThreadPool* pool) {
+  DJ_OBS_SPAN("io.compress_frame");
+  Stopwatch watch;
+  const size_t num_blocks =
+      (input.size() + kFrameBlockSize - 1) / kFrameBlockSize;
+  std::vector<std::string> blocks(num_blocks);
+  std::vector<uint64_t> checksums(num_blocks, 0);
+  auto compress_range = [&](size_t begin, size_t end) {
+    for (size_t b = begin; b < end; ++b) {
+      std::string_view raw = input.substr(
+          b * kFrameBlockSize,
+          std::min(kFrameBlockSize, input.size() - b * kFrameBlockSize));
+      blocks[b] = CompressBlock(raw);
+      checksums[b] = Fnv1a64(raw);
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && num_blocks > 1) {
+    pool->ParallelFor(num_blocks, compress_range);
+  } else {
+    compress_range(0, num_blocks);
+  }
+  size_t payload = 0;
+  for (const std::string& b : blocks) payload += b.size();
   std::string frame;
-  frame.reserve(block.size() + 29);
+  frame.reserve(21 + num_blocks * 16 + payload);
   frame.append(kFrameMagic, 4);
-  frame.push_back(static_cast<char>(kFrameVersion));
+  frame.push_back(static_cast<char>(kFrameVersionV2));
   PutU64(input.size(), &frame);
-  PutU64(block.size(), &frame);
-  PutU64(Fnv1a64(input), &frame);
-  frame.append(block);
+  PutU64(num_blocks, &frame);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    PutU64(blocks[b].size(), &frame);
+    PutU64(checksums[b], &frame);
+  }
+  for (const std::string& b : blocks) frame.append(b);
+  RecordIoMetrics("compress", input.size(), frame.size(),
+                  watch.ElapsedSeconds());
   return frame;
 }
 
@@ -172,27 +235,97 @@ bool IsFrame(std::string_view data) {
   return data.size() >= 4 && std::memcmp(data.data(), kFrameMagic, 4) == 0;
 }
 
-Result<std::string> DecompressFrame(std::string_view frame) {
-  if (frame.size() < 29 || !IsFrame(frame)) {
+Result<std::string> DecompressFrame(std::string_view frame, ThreadPool* pool) {
+  DJ_OBS_SPAN("io.decompress_frame");
+  Stopwatch watch;
+  if (frame.size() < 5 || !IsFrame(frame)) {
     return Status::Corruption("djlz: not a frame");
   }
   const auto* p = reinterpret_cast<const uint8_t*>(frame.data());
-  if (p[4] != kFrameVersion) {
+  if (p[4] == kFrameVersionV1) {
+    auto raw = DecompressFrameV1(frame);
+    if (raw.ok()) {
+      RecordIoMetrics("decompress", frame.size(), raw.value().size(),
+                      watch.ElapsedSeconds());
+    }
+    return raw;
+  }
+  if (p[4] != kFrameVersionV2) {
     return Status::Corruption("djlz: unsupported frame version");
   }
+  if (frame.size() < 21) return Status::Corruption("djlz: truncated header");
   uint64_t raw_size = GetU64(p + 5);
-  uint64_t block_size = GetU64(p + 13);
-  uint64_t checksum = GetU64(p + 21);
-  if (frame.size() != 29 + block_size) {
+  uint64_t num_blocks = GetU64(p + 13);
+  // Each table entry is 16 bytes; bound num_blocks by the actual frame size
+  // before sizing anything from it (adversarial counts must not allocate).
+  if (num_blocks > (frame.size() - 21) / 16) {
+    return Status::Corruption("djlz: block table exceeds frame");
+  }
+  uint64_t expected_blocks =
+      (raw_size + kFrameBlockSize - 1) / kFrameBlockSize;
+  if (num_blocks != expected_blocks) {
+    return Status::Corruption("djlz: block count/raw size mismatch");
+  }
+  size_t pos = 21;
+  std::vector<size_t> block_sizes(num_blocks);
+  std::vector<uint64_t> checksums(num_blocks);
+  uint64_t payload = 0;
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    uint64_t size = GetU64(p + pos);
+    checksums[b] = GetU64(p + pos + 8);
+    pos += 16;
+    if (size > frame.size()) {
+      return Status::Corruption("djlz: block size exceeds frame");
+    }
+    block_sizes[b] = static_cast<size_t>(size);
+    payload += size;
+    if (payload > frame.size()) {
+      return Status::Corruption("djlz: block sizes exceed frame");
+    }
+  }
+  if (pos + payload != frame.size()) {
     return Status::Corruption("djlz: frame size mismatch");
   }
-  DJ_ASSIGN_OR_RETURN(
-      std::string raw,
-      DecompressBlock(frame.substr(29), static_cast<size_t>(raw_size)));
-  if (Fnv1a64(raw) != checksum) {
-    return Status::Corruption("djlz: checksum mismatch");
+  std::vector<size_t> offsets(num_blocks);
+  size_t cursor = pos;
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    offsets[b] = cursor;
+    cursor += block_sizes[b];
   }
-  return raw;
+  std::vector<std::string> raws(num_blocks);
+  std::vector<Status> errors(num_blocks, Status::Ok());
+  auto decompress_range = [&](size_t begin, size_t end) {
+    for (size_t b = begin; b < end; ++b) {
+      size_t want = std::min(kFrameBlockSize,
+                             static_cast<size_t>(raw_size) -
+                                 b * kFrameBlockSize);
+      auto raw =
+          DecompressBlock(frame.substr(offsets[b], block_sizes[b]), want);
+      if (!raw.ok()) {
+        errors[b] = raw.status();
+        continue;
+      }
+      if (Fnv1a64(raw.value()) != checksums[b]) {
+        errors[b] = Status::Corruption("djlz: block checksum mismatch");
+        continue;
+      }
+      raws[b] = std::move(raw).value();
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && num_blocks > 1) {
+    pool->ParallelFor(num_blocks, decompress_range);
+  } else {
+    decompress_range(0, num_blocks);
+  }
+  for (const Status& s : errors) {
+    if (!s.ok()) return s;
+  }
+  std::string out;
+  out.reserve(raw_size);
+  for (std::string& r : raws) out.append(r);
+  RecordIoMetrics("decompress", frame.size(), out.size(),
+                  watch.ElapsedSeconds());
+  return out;
 }
 
 }  // namespace dj::compress

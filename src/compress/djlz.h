@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace dj::compress {
 
@@ -27,10 +28,19 @@ std::string CompressBlock(std::string_view input);
 Result<std::string> DecompressBlock(std::string_view block,
                                     size_t expected_size);
 
-/// Framed API: magic + version + sizes + FNV checksum + block. This is what
-/// the cache layer writes to disk.
-std::string CompressFrame(std::string_view input);
-Result<std::string> DecompressFrame(std::string_view frame);
+/// Uncompressed bytes per frame block. Fixed so the frame layout — and
+/// therefore the compressed bytes — never depend on the pool width.
+constexpr size_t kFrameBlockSize = 1u << 20;
+
+/// Framed API, version 2: magic + version + raw size + a block table
+/// (per-block compressed size + FNV checksum of the raw block) + the
+/// independently compressed ~1 MiB blocks. Blocks compress and decompress
+/// on `pool` when given; output is byte-identical with or without a pool.
+/// Version-1 single-block frames (written before the block table existed)
+/// still decompress. This is what the cache layer writes to disk.
+std::string CompressFrame(std::string_view input, ThreadPool* pool = nullptr);
+Result<std::string> DecompressFrame(std::string_view frame,
+                                    ThreadPool* pool = nullptr);
 
 /// Returns true if `data` starts with the djlz frame magic.
 bool IsFrame(std::string_view data);

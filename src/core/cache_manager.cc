@@ -54,14 +54,14 @@ Result<data::Dataset> CacheManager::Load(uint64_t key) const {
   Bump("cache.hit");
   Bump("cache.load_bytes", blob.size());
   if (compress::IsFrame(blob)) {
-    DJ_ASSIGN_OR_RETURN(blob, compress::DecompressFrame(blob));
+    DJ_ASSIGN_OR_RETURN(blob, compress::DecompressFrame(blob, pool_));
   }
-  return data::DeserializeDataset(blob);
+  return data::DeserializeDataset(blob, pool_);
 }
 
 Status CacheManager::Store(uint64_t key, const data::Dataset& dataset) const {
-  std::string blob = data::SerializeDataset(dataset);
-  if (compression_) blob = compress::CompressFrame(blob);
+  std::string blob = data::SerializeDataset(dataset, pool_);
+  if (compression_) blob = compress::CompressFrame(blob, pool_);
   Bump("cache.stores");
   Bump("cache.store_bytes", blob.size());
   return data::WriteFile(PathFor(key), blob);

@@ -33,6 +33,11 @@ class CacheManager {
   /// "cache.load_bytes", Stores bump "cache.stores" and "cache.store_bytes".
   void SetMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Attaches a thread pool (not owned; nullptr detaches): Load and Store
+  /// run the DJDS shard codec and djlz block codec on it. Cache bytes are
+  /// identical with or without a pool.
+  void SetPool(ThreadPool* pool) { pool_ = pool; }
+
   /// Extends a running key with the next OP's effective config.
   static uint64_t ExtendKey(uint64_t key, std::string_view op_name,
                             const json::Value& effective_config);
@@ -65,6 +70,7 @@ class CacheManager {
   std::string dir_;
   bool compression_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace dj::core

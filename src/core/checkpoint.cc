@@ -10,8 +10,8 @@ namespace dj::core {
 namespace fs = std::filesystem;
 
 Status CheckpointManager::Save(const CheckpointState& state) const {
-  DJ_RETURN_IF_ERROR(
-      data::WriteFile(DatasetPath(), data::SerializeDataset(state.dataset)));
+  DJ_RETURN_IF_ERROR(data::WriteFile(
+      DatasetPath(), data::SerializeDataset(state.dataset, pool_)));
   json::Object manifest;
   manifest.Set("next_op_index",
                json::Value(static_cast<int64_t>(state.next_op_index)));
@@ -36,7 +36,7 @@ Result<CheckpointState> CheckpointManager::LoadLatest() const {
   state.next_op_index = static_cast<size_t>(manifest.GetInt("next_op_index", 0));
   state.pipeline_key =
       static_cast<uint64_t>(manifest.GetInt("pipeline_key", 0));
-  DJ_ASSIGN_OR_RETURN(state.dataset, data::DeserializeDataset(blob));
+  DJ_ASSIGN_OR_RETURN(state.dataset, data::DeserializeDataset(blob, pool_));
   return state;
 }
 

@@ -28,6 +28,11 @@ class CheckpointManager {
 
   const std::string& dir() const { return dir_; }
 
+  /// Attaches a thread pool (not owned; nullptr detaches): Save and load
+  /// run the DJDS shard codec on it. Checkpoint bytes are identical with or
+  /// without a pool.
+  void SetPool(ThreadPool* pool) { pool_ = pool; }
+
   Status Save(const CheckpointState& state) const;
 
   /// Loads the latest checkpoint; returns NotFound when none exists.
@@ -45,6 +50,7 @@ class CheckpointManager {
   std::string DatasetPath() const { return dir_ + "/checkpoint.djds"; }
 
   std::string dir_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace dj::core

@@ -153,7 +153,10 @@ Status Executor::RunFilters(const std::vector<ops::Filter*>& filters,
     return true;
   };
   obs::Span span(options_.spans, "batch:" + filters.front()->name(), "batch");
-  DJ_ASSIGN_OR_RETURN(data::Dataset filtered, dataset->Filter(pred, pool));
+  // Consuming Filter: survivors are moved out of the old dataset instead of
+  // deep-copied (the executor owns it and discards the pre-filter state).
+  DJ_ASSIGN_OR_RETURN(data::Dataset filtered,
+                      std::move(*dataset).Filter(pred, pool));
   *dataset = std::move(filtered);
   return Status::Ok();
 }
@@ -241,10 +244,19 @@ Result<data::Dataset> Executor::Run(data::Dataset dataset,
 
   size_t start_unit = 0;
 
+  // The worker pool is created up front so the cache/checkpoint codecs can
+  // shard their (de)serialization across it too, not just the OP loop.
+  std::optional<ThreadPool> pool;
+  if (options_.num_workers > 1) {
+    pool.emplace(static_cast<size_t>(options_.num_workers));
+  }
+  ThreadPool* pool_ptr = pool ? &*pool : nullptr;
+
   // Checkpoint resume: restore the latest compatible processing site.
   std::optional<CheckpointManager> checkpoints;
   if (options_.use_checkpoint && !options_.checkpoint_dir.empty()) {
     checkpoints.emplace(options_.checkpoint_dir);
+    checkpoints->SetPool(pool_ptr);
     auto state = checkpoints->LoadLatest();
     if (state.ok()) {
       for (size_t i = 0; i <= plan.size(); ++i) {
@@ -268,6 +280,7 @@ Result<data::Dataset> Executor::Run(data::Dataset dataset,
     obs::Span scan_span(options_.spans, "cache.scan", "cache");
     cache.emplace(options_.cache_dir, options_.cache_compression);
     cache->SetMetrics(options_.metrics);
+    cache->SetPool(pool_ptr);
     for (size_t i = plan.size(); i > start_unit; --i) {
       if (!cache->Contains(key_before[i])) continue;
       auto loaded = cache->Load(key_before[i]);
@@ -298,11 +311,6 @@ Result<data::Dataset> Executor::Run(data::Dataset dataset,
     }
   }
 
-  std::optional<ThreadPool> pool;
-  if (options_.num_workers > 1) {
-    pool.emplace(static_cast<size_t>(options_.num_workers));
-  }
-
   for (size_t i = start_unit; i < plan.size(); ++i) {
     Stopwatch unit_watch;
     OpReport r;
@@ -319,7 +327,7 @@ Result<data::Dataset> Executor::Run(data::Dataset dataset,
 
     {
       obs::Span unit_span(options_.spans, "unit:" + r.name, "op");
-      Status status = RunUnit(plan[i], &dataset, pool ? &*pool : nullptr);
+      Status status = RunUnit(plan[i], &dataset, pool_ptr);
       if (!status.ok()) {
         return Status(status.code(),
                       "OP '" + r.name + "' failed: " + status.message());

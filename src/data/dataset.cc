@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <iterator>
 #include <mutex>
 
 namespace dj::data {
@@ -225,7 +226,7 @@ Status Dataset::Map(const std::function<Status(RowRef)>& fn,
   return first_error;
 }
 
-Result<Dataset> Dataset::Filter(
+Result<std::vector<size_t>> Dataset::FilterIndices(
     const std::function<Result<bool>(RowRef)>& pred, ThreadPool* pool,
     std::vector<bool>* kept) {
   std::vector<bool> mask(num_rows_, false);
@@ -268,7 +269,23 @@ Result<Dataset> Dataset::Filter(
     if (mask[i]) indices.push_back(i);
   }
   if (kept != nullptr) *kept = std::move(mask);
+  return indices;
+}
+
+Result<Dataset> Dataset::Filter(
+    const std::function<Result<bool>(RowRef)>& pred, ThreadPool* pool,
+    std::vector<bool>* kept) & {
+  DJ_ASSIGN_OR_RETURN(std::vector<size_t> indices,
+                      FilterIndices(pred, pool, kept));
   return Select(indices);
+}
+
+Result<Dataset> Dataset::Filter(
+    const std::function<Result<bool>(RowRef)>& pred, ThreadPool* pool,
+    std::vector<bool>* kept) && {
+  DJ_ASSIGN_OR_RETURN(std::vector<size_t> indices,
+                      FilterIndices(pred, pool, kept));
+  return std::move(*this).TakeSelect(indices);
 }
 
 Dataset Dataset::Select(const std::vector<size_t>& indices) const {
@@ -286,6 +303,51 @@ Dataset Dataset::Select(const std::vector<size_t>& indices) const {
     out.columns_.push_back(std::move(nc));
   }
   return out;
+}
+
+Dataset Dataset::TakeSelect(const std::vector<size_t>& indices) && {
+  Dataset out;
+  out.num_rows_ = indices.size();
+  out.columns_.reserve(columns_.size());
+  for (auto& col : columns_) {
+    ColumnData nc;
+    nc.name = std::move(col.name);
+    nc.cells.reserve(indices.size());
+    for (size_t idx : indices) {
+      assert(idx < num_rows_);
+      nc.cells.push_back(std::move(col.cells[idx]));
+    }
+    out.columns_.push_back(std::move(nc));
+  }
+  columns_.clear();
+  num_rows_ = 0;
+  return out;
+}
+
+Result<Dataset> Dataset::FromColumns(
+    std::vector<std::string> names,
+    std::vector<std::vector<json::Value>> columns) {
+  if (names.size() != columns.size()) {
+    return Status::InvalidArgument("FromColumns: names/columns size mismatch");
+  }
+  Dataset ds;
+  ds.num_rows_ = columns.empty() ? 0 : columns.front().size();
+  ds.columns_.reserve(names.size());
+  for (size_t c = 0; c < names.size(); ++c) {
+    if (columns[c].size() != ds.num_rows_) {
+      return Status::InvalidArgument("FromColumns: ragged column '" +
+                                     names[c] + "'");
+    }
+    if (ds.FindColumn(names[c]) != nullptr) {
+      return Status::InvalidArgument("FromColumns: duplicate column '" +
+                                     names[c] + "'");
+    }
+    ColumnData col;
+    col.name = std::move(names[c]);
+    col.cells = std::move(columns[c]);
+    ds.columns_.push_back(std::move(col));
+  }
+  return ds;
 }
 
 Dataset Dataset::Slice(size_t begin, size_t end) const {
@@ -317,6 +379,33 @@ void Dataset::Concat(const Dataset& other) {
     columns_.push_back(std::move(nc));
   }
   num_rows_ += other.num_rows_;
+}
+
+void Dataset::Concat(Dataset&& other) {
+  for (auto& col : columns_) {
+    ColumnData* oc = other.FindColumn(col.name);
+    if (oc != nullptr) {
+      col.cells.insert(col.cells.end(),
+                       std::make_move_iterator(oc->cells.begin()),
+                       std::make_move_iterator(oc->cells.end()));
+    } else {
+      col.cells.resize(col.cells.size() + other.num_rows_,
+                       json::Value(nullptr));
+    }
+  }
+  for (auto& oc : other.columns_) {
+    if (FindColumn(oc.name) != nullptr) continue;
+    ColumnData nc;
+    nc.name = std::move(oc.name);
+    nc.cells.assign(num_rows_, json::Value(nullptr));
+    nc.cells.insert(nc.cells.end(),
+                    std::make_move_iterator(oc.cells.begin()),
+                    std::make_move_iterator(oc.cells.end()));
+    columns_.push_back(std::move(nc));
+  }
+  num_rows_ += other.num_rows_;
+  other.columns_.clear();
+  other.num_rows_ = 0;
 }
 
 uint64_t ApproxValueBytes(const json::Value& v) {

@@ -69,6 +69,13 @@ class Dataset {
   /// Builds a single-column ("text") dataset.
   static Dataset FromTexts(std::vector<std::string> texts);
 
+  /// Builds a dataset directly from named columns (the fast path of the
+  /// binary codec: no per-row object churn). All columns must have the same
+  /// length and names must be unique.
+  static Result<Dataset> FromColumns(
+      std::vector<std::string> names,
+      std::vector<std::vector<json::Value>> columns);
+
   size_t NumRows() const { return num_rows_; }
   size_t NumColumns() const { return columns_.size(); }
   bool Empty() const { return num_rows_ == 0; }
@@ -118,16 +125,33 @@ class Dataset {
   /// the surviving rows as a new dataset. `kept` (optional) receives the mask.
   Result<Dataset> Filter(const std::function<Result<bool>(RowRef)>& pred,
                          ThreadPool* pool = nullptr,
-                         std::vector<bool>* kept = nullptr);
+                         std::vector<bool>* kept = nullptr) &;
+
+  /// Consuming overload: surviving cells are moved, not deep-copied — the
+  /// executor owns its dataset, so `std::move(ds).Filter(...)` avoids
+  /// copying every json::Value on the hot path. `*this` is left empty.
+  Result<Dataset> Filter(const std::function<Result<bool>(RowRef)>& pred,
+                         ThreadPool* pool = nullptr,
+                         std::vector<bool>* kept = nullptr) &&;
 
   /// Returns a dataset with rows at `indices` (in the given order).
   Dataset Select(const std::vector<size_t>& indices) const;
+
+  /// Move counterpart of Select for consumed datasets: cells at `indices`
+  /// are moved out instead of copied. `indices` must be strictly increasing
+  /// (each source row consumed at most once). `*this` is left empty.
+  Dataset TakeSelect(const std::vector<size_t>& indices) &&;
 
   /// Returns rows [begin, end).
   Dataset Slice(size_t begin, size_t end) const;
 
   /// Appends all rows of `other` (column union, missing cells null).
   void Concat(const Dataset& other);
+
+  /// Move counterpart: `other`'s cells are moved in (it is left empty).
+  /// Used by the parallel data plane to gather per-chunk partial datasets
+  /// without re-copying every cell.
+  void Concat(Dataset&& other);
 
   /// Approximate heap footprint in bytes (cells + column metadata); used by
   /// the end-to-end resource benchmarks.
@@ -146,6 +170,12 @@ class Dataset {
 
   ColumnData* FindColumn(std::string_view name);
   const ColumnData* FindColumn(std::string_view name) const;
+
+  /// Shared body of both Filter overloads: evaluates `pred` over every row
+  /// (parallel if pool given) and returns the surviving row indices.
+  Result<std::vector<size_t>> FilterIndices(
+      const std::function<Result<bool>(RowRef)>& pred, ThreadPool* pool,
+      std::vector<bool>* kept);
 
   std::vector<ColumnData> columns_;
   size_t num_rows_ = 0;

@@ -1,19 +1,34 @@
 #include "data/io.h"
 
-#include <cstdio>
+#include <algorithm>
 #include <cstring>
-#include <filesystem>
 
+#include "common/file_util.h"
+#include "common/hash.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "compress/djlz.h"
 #include "json/parser.h"
 #include "json/writer.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace dj::data {
 namespace {
 
 constexpr char kDatasetMagic[4] = {'D', 'J', 'D', 'S'};
-constexpr uint8_t kDatasetVersion = 1;
+constexpr uint8_t kDatasetVersionV1 = 1;
+constexpr uint8_t kDatasetVersionV2 = 2;
+
+/// Sharding defaults for the v2 container. The auto shard count depends
+/// only on the row count — never on the pool — so serial and parallel
+/// serialization produce identical bytes.
+constexpr size_t kRowsPerShard = 2048;
+constexpr size_t kMaxAutoShards = 64;
+
+/// Inputs below this size parse serially even when a pool is given: chunk
+/// scheduling would cost more than the parse.
+constexpr size_t kParallelParseThreshold = 1 << 16;
 
 // Value tags for the binary codec.
 enum : uint8_t {
@@ -59,9 +74,29 @@ void PutString(std::string_view s, std::string* out) {
 bool GetString(std::string_view bytes, size_t* pos, std::string* out) {
   uint64_t len = 0;
   if (!GetVarint(bytes, pos, &len)) return false;
-  if (*pos + len > bytes.size()) return false;
+  // `*pos + len` can wrap for adversarial lengths; compare against the
+  // remaining byte count instead (GetVarint guarantees *pos <= size here).
+  if (len > bytes.size() - *pos) return false;
   out->assign(bytes.substr(*pos, len));
   *pos += len;
+  return true;
+}
+
+void PutU64Fixed(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+bool GetU64Fixed(std::string_view bytes, size_t* pos, uint64_t* out) {
+  if (bytes.size() - *pos < 8) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[*pos + i]))
+         << (8 * i);
+  }
+  *pos += 8;
+  *out = v;
   return true;
 }
 
@@ -90,7 +125,7 @@ Status DeserializeValueAt(std::string_view bytes, size_t* pos,
       return Status::Ok();
     }
     case kTagDouble: {
-      if (*pos + 8 > bytes.size()) return Status::Corruption("truncated double");
+      if (bytes.size() - *pos < 8) return Status::Corruption("truncated double");
       uint64_t bits = 0;
       std::memcpy(&bits, bytes.data() + *pos, 8);
       *pos += 8;
@@ -112,6 +147,11 @@ Status DeserializeValueAt(std::string_view bytes, size_t* pos,
       if (!GetVarint(bytes, pos, &n)) {
         return Status::Corruption("truncated array size");
       }
+      // Every element costs at least one tag byte, so a count beyond the
+      // remaining bytes is corrupt — and must not drive reserve().
+      if (n > bytes.size() - *pos) {
+        return Status::Corruption("array size exceeds payload");
+      }
       json::Array arr;
       arr.reserve(n);
       for (uint64_t i = 0; i < n; ++i) {
@@ -126,6 +166,9 @@ Status DeserializeValueAt(std::string_view bytes, size_t* pos,
       uint64_t n = 0;
       if (!GetVarint(bytes, pos, &n)) {
         return Status::Corruption("truncated object size");
+      }
+      if (n > bytes.size() - *pos) {
+        return Status::Corruption("object size exceeds payload");
       }
       json::Object obj;
       for (uint64_t i = 0; i < n; ++i) {
@@ -145,46 +188,31 @@ Status DeserializeValueAt(std::string_view bytes, size_t* pos,
   }
 }
 
-}  // namespace
-
-Result<std::string> ReadFile(const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::IoError("cannot open '" + path + "' for reading");
-  }
-  std::string out;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    out.append(buf, n);
-  }
-  bool had_error = std::ferror(f) != 0;
-  std::fclose(f);
-  if (had_error) return Status::IoError("read error on '" + path + "'");
-  return out;
+/// Bumps the io.* row/byte counters and the seconds histogram on the
+/// globally installed registry (no-op without one).
+void RecordIoMetrics(const char* op, uint64_t rows, uint64_t bytes,
+                     double seconds) {
+  obs::MetricsRegistry* m = obs::GlobalMetrics();
+  if (m == nullptr) return;
+  std::string prefix = std::string("io.") + op;
+  m->GetCounter(prefix + ".rows")->Add(rows);
+  m->GetCounter(prefix + ".bytes")->Add(bytes);
+  m->GetHistogram(prefix + "_seconds")->Observe(seconds);
 }
 
-Status WriteFile(const std::string& path, std::string_view content) {
-  std::error_code ec;
-  std::filesystem::path p(path);
-  if (p.has_parent_path()) {
-    std::filesystem::create_directories(p.parent_path(), ec);
-  }
-  FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IoError("cannot open '" + path + "' for writing");
-  }
-  size_t written = std::fwrite(content.data(), 1, content.size(), f);
-  bool had_error = std::ferror(f) != 0 || written != content.size();
-  if (std::fclose(f) != 0) had_error = true;
-  if (had_error) return Status::IoError("write error on '" + path + "'");
-  return Status::Ok();
-}
-
-Result<Dataset> ParseJsonl(std::string_view content) {
-  Dataset ds;
-  size_t lineno = 0;
-  for (const std::string& line : SplitLines(content)) {
+/// Serial JSONL parser core over one chunk. Lines are numbered from
+/// `base_lineno + 1` so chunked parses report the same line numbers the
+/// serial parse would.
+Status ParseJsonlChunk(std::string_view content, size_t base_lineno,
+                       Dataset* ds) {
+  size_t lineno = base_lineno;
+  size_t start = 0;
+  while (start < content.size()) {
+    size_t eol = content.find('\n', start);
+    std::string_view line = eol == std::string_view::npos
+                                ? content.substr(start)
+                                : content.substr(start, eol - start);
+    start = eol == std::string_view::npos ? content.size() : eol + 1;
     ++lineno;
     std::string_view body = StripAsciiWhitespace(line);
     if (body.empty()) continue;
@@ -197,32 +225,314 @@ Result<Dataset> ParseJsonl(std::string_view content) {
       return Status::Corruption("jsonl line " + std::to_string(lineno) +
                                 ": expected an object");
     }
-    ds.AppendSample(Sample(std::move(r.value().as_object())));
+    ds->AppendSample(Sample(std::move(r.value().as_object())));
   }
-  return ds;
+  return Status::Ok();
 }
 
-Result<Dataset> ReadJsonl(const std::string& path) {
+/// Splits `content` into up to `target_chunks` ranges cut at newline
+/// boundaries. Every byte lands in exactly one range.
+std::vector<std::string_view> SplitAtNewlines(std::string_view content,
+                                              size_t target_chunks) {
+  std::vector<std::string_view> chunks;
+  size_t begin = 0;
+  for (size_t i = 1; i < target_chunks && begin < content.size(); ++i) {
+    size_t target = content.size() * i / target_chunks;
+    if (target <= begin) continue;
+    size_t cut = content.find('\n', target);
+    if (cut == std::string_view::npos) break;
+    chunks.push_back(content.substr(begin, cut + 1 - begin));
+    begin = cut + 1;
+  }
+  if (begin < content.size()) chunks.push_back(content.substr(begin));
+  return chunks;
+}
+
+/// Deterministic shard count for a dataset: one shard per kRowsPerShard
+/// rows, capped. Depends only on the row count, never on the pool.
+size_t AutoShardCount(size_t num_rows) {
+  if (num_rows == 0) return 0;
+  size_t shards = (num_rows + kRowsPerShard - 1) / kRowsPerShard;
+  return std::min(shards, kMaxAutoShards);
+}
+
+/// Runs fn(begin, end) over [0, n) — on the pool when one is given and the
+/// work is wide enough, inline otherwise.
+void MaybeParallelFor(ThreadPool* pool, size_t n,
+                      const std::function<void(size_t, size_t)>& fn) {
+  if (pool != nullptr && pool->num_threads() > 1 && n > 1) {
+    pool->ParallelFor(n, fn);
+  } else {
+    fn(0, n);
+  }
+}
+
+Result<Dataset> DeserializeDatasetV1(std::string_view bytes) {
+  size_t pos = 5;
+  uint64_t num_rows = 0, num_cols = 0;
+  if (!GetVarint(bytes, &pos, &num_rows) ||
+      !GetVarint(bytes, &pos, &num_cols)) {
+    return Status::Corruption("truncated DJDS header");
+  }
+  // Every cell costs at least one tag byte and every column a name; counts
+  // beyond the remaining bytes are corrupt (and must not drive reserve()).
+  if (num_cols > bytes.size() - pos) {
+    return Status::Corruption("DJDS column count exceeds payload");
+  }
+  if (num_cols > 0 && num_rows > bytes.size() - pos) {
+    return Status::Corruption("DJDS row count exceeds payload");
+  }
+  std::vector<std::string> col_names;
+  std::vector<std::vector<json::Value>> cols;
+  col_names.reserve(num_cols);
+  cols.reserve(num_cols);
+  for (uint64_t c = 0; c < num_cols; ++c) {
+    std::string name;
+    if (!GetString(bytes, &pos, &name)) {
+      return Status::Corruption("truncated column name");
+    }
+    std::vector<json::Value> cells;
+    cells.reserve(num_rows);
+    for (uint64_t r = 0; r < num_rows; ++r) {
+      json::Value v;
+      DJ_RETURN_IF_ERROR(DeserializeValueAt(bytes, &pos, &v, 0));
+      cells.push_back(std::move(v));
+    }
+    col_names.push_back(std::move(name));
+    cols.push_back(std::move(cells));
+  }
+  if (pos != bytes.size()) {
+    return Status::Corruption("trailing bytes in DJDS blob");
+  }
+  return Dataset::FromColumns(std::move(col_names), std::move(cols));
+}
+
+Result<Dataset> DeserializeDatasetV2(std::string_view bytes,
+                                     ThreadPool* pool) {
+  size_t pos = 5;
+  uint64_t num_rows = 0, num_cols = 0;
+  if (!GetVarint(bytes, &pos, &num_rows) ||
+      !GetVarint(bytes, &pos, &num_cols)) {
+    return Status::Corruption("truncated DJDS header");
+  }
+  if (num_cols > bytes.size() - pos) {
+    return Status::Corruption("DJDS column count exceeds payload");
+  }
+  std::vector<std::string> col_names;
+  col_names.reserve(num_cols);
+  for (uint64_t c = 0; c < num_cols; ++c) {
+    std::string name;
+    if (!GetString(bytes, &pos, &name)) {
+      return Status::Corruption("truncated column name");
+    }
+    col_names.push_back(std::move(name));
+  }
+  size_t header_begin = 0;
+  uint64_t num_shards = 0;
+  if (!GetVarint(bytes, &pos, &num_shards)) {
+    return Status::Corruption("truncated DJDS shard count");
+  }
+  // Each shard table entry is >= 10 bytes (two varints + 8-byte checksum).
+  if (num_shards > (bytes.size() - pos) / 10) {
+    return Status::Corruption("DJDS shard table exceeds payload");
+  }
+  struct ShardEntry {
+    size_t row_begin = 0;
+    size_t row_count = 0;
+    size_t offset = 0;
+    size_t length = 0;
+    uint64_t checksum = 0;
+  };
+  std::vector<ShardEntry> shards(num_shards);
+  uint64_t rows_total = 0;
+  uint64_t payload_total = 0;
+  for (uint64_t s = 0; s < num_shards; ++s) {
+    uint64_t row_count = 0, length = 0;
+    if (!GetVarint(bytes, &pos, &row_count) ||
+        !GetVarint(bytes, &pos, &length) ||
+        !GetU64Fixed(bytes, &pos, &shards[s].checksum)) {
+      return Status::Corruption("truncated DJDS shard table");
+    }
+    if (length > bytes.size() || row_count > num_rows) {
+      return Status::Corruption("DJDS shard entry out of range");
+    }
+    shards[s].row_begin = static_cast<size_t>(rows_total);
+    shards[s].row_count = static_cast<size_t>(row_count);
+    shards[s].length = static_cast<size_t>(length);
+    rows_total += row_count;
+    payload_total += length;
+    if (rows_total > num_rows || payload_total > bytes.size()) {
+      return Status::Corruption("DJDS shard table out of range");
+    }
+  }
+  if (rows_total != num_rows) {
+    return Status::Corruption("DJDS shard rows do not sum to header rows");
+  }
+  // The shard checksums only cover payloads; this one covers everything
+  // before it (magic, counts, column names, shard table).
+  uint64_t header_checksum = 0;
+  size_t header_end = pos;
+  if (!GetU64Fixed(bytes, &pos, &header_checksum)) {
+    return Status::Corruption("truncated DJDS header checksum");
+  }
+  if (Fnv1a64(bytes.substr(header_begin, header_end)) != header_checksum) {
+    return Status::Corruption("DJDS header checksum mismatch");
+  }
+  if (pos + payload_total != bytes.size()) {
+    return Status::Corruption("DJDS payload size mismatch");
+  }
+  size_t cursor = pos;
+  for (auto& shard : shards) {
+    shard.offset = cursor;
+    cursor += shard.length;
+  }
+
+  // Decode shards concurrently, each into its own per-column cell vectors.
+  std::vector<std::vector<std::vector<json::Value>>> shard_cols(num_shards);
+  std::vector<Status> errors(num_shards, Status::Ok());
+  auto decode_range = [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      std::string_view payload = bytes.substr(shards[s].offset,
+                                              shards[s].length);
+      if (Fnv1a64(payload) != shards[s].checksum) {
+        errors[s] = Status::Corruption("DJDS shard checksum mismatch");
+        continue;
+      }
+      std::vector<std::vector<json::Value>> cols(col_names.size());
+      size_t p = 0;
+      Status status;
+      for (size_t c = 0; c < col_names.size() && status.ok(); ++c) {
+        cols[c].reserve(shards[s].row_count);
+        for (size_t r = 0; r < shards[s].row_count; ++r) {
+          json::Value v;
+          status = DeserializeValueAt(payload, &p, &v, 0);
+          if (!status.ok()) break;
+          cols[c].push_back(std::move(v));
+        }
+      }
+      if (status.ok() && p != payload.size()) {
+        status = Status::Corruption("trailing bytes in DJDS shard");
+      }
+      if (!status.ok()) {
+        errors[s] = std::move(status);
+        continue;
+      }
+      shard_cols[s] = std::move(cols);
+    }
+  };
+  MaybeParallelFor(pool, num_shards, decode_range);
+  for (Status& s : errors) {
+    if (!s.ok()) return std::move(s);
+  }
+
+  // Ordered gather: move shard cells into whole columns.
+  std::vector<std::vector<json::Value>> cols(col_names.size());
+  for (size_t c = 0; c < col_names.size(); ++c) {
+    cols[c].reserve(num_rows);
+    for (size_t s = 0; s < num_shards; ++s) {
+      auto& cells = shard_cols[s][c];
+      cols[c].insert(cols[c].end(), std::make_move_iterator(cells.begin()),
+                     std::make_move_iterator(cells.end()));
+    }
+  }
+  return Dataset::FromColumns(std::move(col_names), std::move(cols));
+}
+
+}  // namespace
+
+Result<std::string> ReadFile(const std::string& path) {
+  return ReadFileToString(path);
+}
+
+Status WriteFile(const std::string& path, std::string_view content) {
+  return WriteStringToFile(path, content);
+}
+
+Result<Dataset> ParseJsonl(std::string_view content, ThreadPool* pool) {
+  DJ_OBS_SPAN("io.parse_jsonl");
+  Stopwatch watch;
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      content.size() < kParallelParseThreshold) {
+    Dataset ds;
+    DJ_RETURN_IF_ERROR(ParseJsonlChunk(content, 0, &ds));
+    RecordIoMetrics("parse", ds.NumRows(), content.size(),
+                    watch.ElapsedSeconds());
+    return ds;
+  }
+  std::vector<std::string_view> chunks =
+      SplitAtNewlines(content, pool->num_threads());
+  // Chunk i's absolute starting line = lines in the chunks before it.
+  std::vector<size_t> base_lines(chunks.size(), 0);
+  for (size_t i = 1; i < chunks.size(); ++i) {
+    base_lines[i] =
+        base_lines[i - 1] +
+        static_cast<size_t>(
+            std::count(chunks[i - 1].begin(), chunks[i - 1].end(), '\n'));
+  }
+  std::vector<Dataset> parts(chunks.size());
+  std::vector<Status> errors(chunks.size(), Status::Ok());
+  pool->ParallelFor(chunks.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      errors[i] = ParseJsonlChunk(chunks[i], base_lines[i], &parts[i]);
+    }
+  });
+  // Report the earliest failing line, matching the serial parse.
+  for (Status& s : errors) {
+    if (!s.ok()) return std::move(s);
+  }
+  Dataset out = std::move(parts.front());
+  for (size_t i = 1; i < parts.size(); ++i) out.Concat(std::move(parts[i]));
+  RecordIoMetrics("parse", out.NumRows(), content.size(),
+                  watch.ElapsedSeconds());
+  return out;
+}
+
+Result<Dataset> ReadJsonl(const std::string& path, ThreadPool* pool) {
   DJ_ASSIGN_OR_RETURN(std::string content, ReadFile(path));
-  auto r = ParseJsonl(content);
+  auto r = ParseJsonl(content, pool);
   if (!r.ok()) {
     return Status::Corruption(path + ": " + r.status().message());
   }
   return r;
 }
 
-std::string ToJsonl(const Dataset& dataset) {
+std::string ToJsonl(const Dataset& dataset, ThreadPool* pool) {
+  DJ_OBS_SPAN("io.to_jsonl");
+  Stopwatch watch;
+  auto stringify_rows = [&dataset](size_t begin, size_t end,
+                                   std::string* out) {
+    for (size_t i = begin; i < end; ++i) {
+      Sample s = dataset.MaterializeRow(i);
+      *out += json::Write(json::Value(s.fields()));
+      out->push_back('\n');
+    }
+  };
   std::string out;
-  for (size_t i = 0; i < dataset.NumRows(); ++i) {
-    Sample s = dataset.MaterializeRow(i);
-    out += json::Write(json::Value(s.fields()));
-    out.push_back('\n');
+  const size_t rows = dataset.NumRows();
+  if (pool == nullptr || pool->num_threads() <= 1 || rows < 2) {
+    stringify_rows(0, rows, &out);
+  } else {
+    // Fixed chunking (independent of scheduling) + ordered gather.
+    const size_t chunks = std::min(rows, pool->num_threads() * 4);
+    const size_t per = (rows + chunks - 1) / chunks;
+    std::vector<std::string> parts(chunks);
+    pool->ParallelFor(chunks, [&](size_t begin, size_t end) {
+      for (size_t c = begin; c < end; ++c) {
+        stringify_rows(c * per, std::min(rows, (c + 1) * per), &parts[c]);
+      }
+    });
+    size_t total = 0;
+    for (const std::string& p : parts) total += p.size();
+    out.reserve(total);
+    for (const std::string& p : parts) out += p;
   }
+  RecordIoMetrics("to_jsonl", rows, out.size(), watch.ElapsedSeconds());
   return out;
 }
 
-Status WriteJsonl(const Dataset& dataset, const std::string& path) {
-  return WriteFile(path, ToJsonl(dataset));
+Status WriteJsonl(const Dataset& dataset, const std::string& path,
+                  ThreadPool* pool) {
+  return WriteFile(path, ToJsonl(dataset, pool));
 }
 
 void SerializeValue(const json::Value& v, std::string* out) {
@@ -283,10 +593,10 @@ Result<json::Value> DeserializeValue(std::string_view bytes) {
   return v;
 }
 
-std::string SerializeDataset(const Dataset& dataset) {
+std::string SerializeDatasetV1(const Dataset& dataset) {
   std::string out;
   out.append(kDatasetMagic, 4);
-  out.push_back(static_cast<char>(kDatasetVersion));
+  out.push_back(static_cast<char>(kDatasetVersionV1));
   PutVarint(dataset.NumRows(), &out);
   std::vector<std::string> names = dataset.ColumnNames();
   PutVarint(names.size(), &out);
@@ -298,82 +608,106 @@ std::string SerializeDataset(const Dataset& dataset) {
   return out;
 }
 
-Result<Dataset> DeserializeDataset(std::string_view bytes) {
+std::string SerializeDataset(const Dataset& dataset, ThreadPool* pool,
+                             size_t num_shards) {
+  DJ_OBS_SPAN("io.serialize_dataset");
+  Stopwatch watch;
+  const size_t num_rows = dataset.NumRows();
+  if (num_shards == 0) {
+    num_shards = AutoShardCount(num_rows);
+  } else {
+    num_shards = std::max<size_t>(std::min(num_shards, num_rows),
+                                  num_rows == 0 ? 0 : 1);
+  }
+  std::vector<std::string> names = dataset.ColumnNames();
+  // Even row partition: shard i covers base + (i < rem ? 1 : 0) rows.
+  const size_t base = num_shards == 0 ? 0 : num_rows / num_shards;
+  const size_t rem = num_shards == 0 ? 0 : num_rows % num_shards;
+  std::vector<size_t> row_begin(num_shards + 1, 0);
+  for (size_t s = 0; s < num_shards; ++s) {
+    row_begin[s + 1] = row_begin[s] + base + (s < rem ? 1 : 0);
+  }
+  std::vector<std::string> payloads(num_shards);
+  auto serialize_range = [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      std::string& payload = payloads[s];
+      for (const std::string& name : names) {
+        const auto* cells = dataset.Column(name);
+        for (size_t r = row_begin[s]; r < row_begin[s + 1]; ++r) {
+          SerializeValue((*cells)[r], &payload);
+        }
+      }
+    }
+  };
+  MaybeParallelFor(pool, num_shards, serialize_range);
+
+  std::string out;
+  size_t payload_total = 0;
+  for (const std::string& p : payloads) payload_total += p.size();
+  out.reserve(payload_total + 64 + names.size() * 16);
+  out.append(kDatasetMagic, 4);
+  out.push_back(static_cast<char>(kDatasetVersionV2));
+  PutVarint(num_rows, &out);
+  PutVarint(names.size(), &out);
+  for (const std::string& name : names) PutString(name, &out);
+  PutVarint(num_shards, &out);
+  for (size_t s = 0; s < num_shards; ++s) {
+    PutVarint(row_begin[s + 1] - row_begin[s], &out);
+    PutVarint(payloads[s].size(), &out);
+    PutU64Fixed(Fnv1a64(payloads[s]), &out);
+  }
+  PutU64Fixed(Fnv1a64(out), &out);  // header checksum (shards cover payloads)
+  for (const std::string& p : payloads) out.append(p);
+  RecordIoMetrics("serialize", num_rows, out.size(), watch.ElapsedSeconds());
+  return out;
+}
+
+Result<Dataset> DeserializeDataset(std::string_view bytes, ThreadPool* pool) {
+  DJ_OBS_SPAN("io.deserialize_dataset");
+  Stopwatch watch;
   if (bytes.size() < 5 || std::memcmp(bytes.data(), kDatasetMagic, 4) != 0) {
     return Status::Corruption("not a DJDS dataset blob");
   }
-  if (static_cast<uint8_t>(bytes[4]) != kDatasetVersion) {
-    return Status::Corruption("unsupported DJDS version");
+  uint8_t version = static_cast<uint8_t>(bytes[4]);
+  Result<Dataset> out = version == kDatasetVersionV1
+                            ? DeserializeDatasetV1(bytes)
+                        : version == kDatasetVersionV2
+                            ? DeserializeDatasetV2(bytes, pool)
+                            : Result<Dataset>(Status::Corruption(
+                                  "unsupported DJDS version"));
+  if (out.ok()) {
+    RecordIoMetrics("deserialize", out.value().NumRows(), bytes.size(),
+                    watch.ElapsedSeconds());
   }
-  size_t pos = 5;
-  uint64_t num_rows = 0, num_cols = 0;
-  if (!GetVarint(bytes, &pos, &num_rows) ||
-      !GetVarint(bytes, &pos, &num_cols)) {
-    return Status::Corruption("truncated DJDS header");
-  }
-  // Rebuild through samples to keep the Dataset constructor surface small.
-  std::vector<Sample> rows(num_rows);
-  std::vector<std::string> col_names;
-  std::vector<std::vector<json::Value>> cols;
-  for (uint64_t c = 0; c < num_cols; ++c) {
-    std::string name;
-    if (!GetString(bytes, &pos, &name)) {
-      return Status::Corruption("truncated column name");
-    }
-    std::vector<json::Value> cells;
-    cells.reserve(num_rows);
-    for (uint64_t r = 0; r < num_rows; ++r) {
-      json::Value v;
-      DJ_RETURN_IF_ERROR(DeserializeValueAt(bytes, &pos, &v, 0));
-      cells.push_back(std::move(v));
-    }
-    col_names.push_back(std::move(name));
-    cols.push_back(std::move(cells));
-  }
-  if (pos != bytes.size()) {
-    return Status::Corruption("trailing bytes in DJDS blob");
-  }
-  Dataset ds;
-  // Preserve null cells exactly: build row objects including nulls, then
-  // strip is not needed because AppendSample keeps value as provided.
-  for (uint64_t r = 0; r < num_rows; ++r) {
-    json::Object fields;
-    for (uint64_t c = 0; c < num_cols; ++c) {
-      fields.Set(col_names[c], std::move(cols[c][r]));
-    }
-    ds.AppendSample(Sample(std::move(fields)));
-  }
-  // Edge case: zero rows but named columns — recreate the columns.
-  if (num_rows == 0) {
-    for (const auto& name : col_names) ds.EnsureColumn(name);
-  }
-  return ds;
+  return out;
 }
 
-Status ExportDataset(const Dataset& dataset, const std::string& path) {
-  if (EndsWith(path, ".jsonl")) return WriteJsonl(dataset, path);
+Status ExportDataset(const Dataset& dataset, const std::string& path,
+                     ThreadPool* pool) {
+  if (EndsWith(path, ".jsonl")) return WriteJsonl(dataset, path, pool);
   if (EndsWith(path, ".djds.djlz")) {
-    return WriteFile(path,
-                     compress::CompressFrame(SerializeDataset(dataset)));
+    return WriteFile(
+        path, compress::CompressFrame(SerializeDataset(dataset, pool), pool));
   }
   if (EndsWith(path, ".djds")) {
-    return WriteFile(path, SerializeDataset(dataset));
+    return WriteFile(path, SerializeDataset(dataset, pool));
   }
   return Status::InvalidArgument(
       "unsupported export suffix for '" + path +
       "' (use .jsonl, .djds, or .djds.djlz)");
 }
 
-Result<Dataset> ImportDataset(const std::string& path) {
-  if (EndsWith(path, ".jsonl")) return ReadJsonl(path);
+Result<Dataset> ImportDataset(const std::string& path, ThreadPool* pool) {
+  if (EndsWith(path, ".jsonl")) return ReadJsonl(path, pool);
   if (EndsWith(path, ".djds.djlz")) {
     DJ_ASSIGN_OR_RETURN(std::string frame, ReadFile(path));
-    DJ_ASSIGN_OR_RETURN(std::string blob, compress::DecompressFrame(frame));
-    return DeserializeDataset(blob);
+    DJ_ASSIGN_OR_RETURN(std::string blob,
+                        compress::DecompressFrame(frame, pool));
+    return DeserializeDataset(blob, pool);
   }
   if (EndsWith(path, ".djds")) {
     DJ_ASSIGN_OR_RETURN(std::string blob, ReadFile(path));
-    return DeserializeDataset(blob);
+    return DeserializeDataset(blob, pool);
   }
   return Status::InvalidArgument(
       "unsupported import suffix for '" + path +

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "data/dataset.h"
 
 namespace dj::data {
@@ -16,21 +17,43 @@ Result<std::string> ReadFile(const std::string& path);
 Status WriteFile(const std::string& path, std::string_view content);
 
 /// Parses JSON-Lines content: one strict-JSON object per non-empty line.
-Result<Dataset> ParseJsonl(std::string_view content);
+/// With a pool, the buffer splits at newline boundaries into per-thread
+/// chunks that parse concurrently; the result (rows, column order, error
+/// line numbers) is identical to the serial parse.
+Result<Dataset> ParseJsonl(std::string_view content,
+                           ThreadPool* pool = nullptr);
 
 /// Reads a .jsonl file into a dataset.
-Result<Dataset> ReadJsonl(const std::string& path);
+Result<Dataset> ReadJsonl(const std::string& path, ThreadPool* pool = nullptr);
 
 /// Serializes the dataset as JSONL (null cells omitted, one row per line).
-std::string ToJsonl(const Dataset& dataset);
+/// With a pool, row ranges stringify concurrently and gather in order;
+/// output is byte-identical to the serial form.
+std::string ToJsonl(const Dataset& dataset, ThreadPool* pool = nullptr);
 
 /// Writes the dataset to a .jsonl file.
-Status WriteJsonl(const Dataset& dataset, const std::string& path);
+Status WriteJsonl(const Dataset& dataset, const std::string& path,
+                  ThreadPool* pool = nullptr);
 
 /// Binary cache codec for datasets (magic "DJDS"). Deterministic; used by
 /// the per-OP cache and checkpoint layers, optionally djlz-compressed there.
-std::string SerializeDataset(const Dataset& dataset);
-Result<Dataset> DeserializeDataset(std::string_view bytes);
+///
+/// The current container is version 2: a checksummed header (row/column
+/// counts, column names) followed by a shard table and N independently
+/// decodable row-range shards, each with a byte length and FNV checksum.
+/// Shards serialize and
+/// deserialize on `pool` when given; the byte stream depends only on the
+/// dataset and `num_shards` (0 = deterministic auto from the row count), so
+/// serial and parallel runs produce identical blobs. Version-1 blobs
+/// (single unsharded stream) still deserialize.
+std::string SerializeDataset(const Dataset& dataset, ThreadPool* pool = nullptr,
+                             size_t num_shards = 0);
+Result<Dataset> DeserializeDataset(std::string_view bytes,
+                                   ThreadPool* pool = nullptr);
+
+/// Legacy version-1 writer, kept for backward-compat tests and tooling that
+/// needs to produce blobs older readers understand.
+std::string SerializeDatasetV1(const Dataset& dataset);
 
 /// Binary codec for a single JSON value (shared with the dataset codec).
 void SerializeValue(const json::Value& v, std::string* out);
@@ -39,11 +62,13 @@ Result<json::Value> DeserializeValue(std::string_view bytes);
 /// Suffix-dispatched export: ".jsonl" (text), ".djds" (binary), or
 /// ".djds.djlz" (binary, djlz-compressed). The compressed form is what the
 /// cache layer writes; exposing it here lets pipelines ship compact
-/// processed datasets.
-Status ExportDataset(const Dataset& dataset, const std::string& path);
+/// processed datasets. Serialization and compression run on `pool`.
+Status ExportDataset(const Dataset& dataset, const std::string& path,
+                     ThreadPool* pool = nullptr);
 
 /// Inverse of ExportDataset (same suffix dispatch).
-Result<Dataset> ImportDataset(const std::string& path);
+Result<Dataset> ImportDataset(const std::string& path,
+                              ThreadPool* pool = nullptr);
 
 }  // namespace dj::data
 

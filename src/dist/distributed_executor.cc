@@ -38,22 +38,32 @@ std::vector<Segment> SplitSegments(
   return segments;
 }
 
-std::vector<data::Dataset> Shard(const data::Dataset& ds, size_t n) {
-  std::vector<data::Dataset> shards;
+std::vector<data::Dataset> Shard(const data::Dataset& ds, size_t n,
+                                 ThreadPool* pool) {
   if (n == 0) n = 1;
+  std::vector<data::Dataset> shards(n);
   size_t rows = ds.NumRows();
   size_t per = (rows + n - 1) / std::max<size_t>(n, 1);
-  for (size_t i = 0; i < n; ++i) {
-    size_t begin = std::min(i * per, rows);
-    size_t end = std::min(begin + per, rows);
-    shards.push_back(ds.Slice(begin, end));
+  // Slices are independent row-range copies, so they cut in parallel; the
+  // shard boundaries depend only on (rows, n), never on the pool.
+  auto slice_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      size_t lo = std::min(i * per, rows);
+      size_t hi = std::min(lo + per, rows);
+      shards[i] = ds.Slice(lo, hi);
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && n > 1) {
+    pool->ParallelFor(n, slice_range);
+  } else {
+    slice_range(0, n);
   }
   return shards;
 }
 
 data::Dataset Merge(std::vector<data::Dataset>* shards) {
   data::Dataset out;
-  for (data::Dataset& shard : *shards) out.Concat(shard);
+  for (data::Dataset& shard : *shards) out.Concat(std::move(shard));
   shards->clear();
   return out;
 }
@@ -154,7 +164,8 @@ Result<data::Dataset> DistributedExecutor::Run(
   core::Executor shard_executor(exec_options);
 
   std::vector<Segment> segments = SplitSegments(ops);
-  std::vector<data::Dataset> shards = Shard(dataset, nodes);
+  std::vector<data::Dataset> shards = Shard(dataset, nodes,
+                                            options_.io_pool);
   dataset = data::Dataset();  // released; state lives in shards
 
   for (size_t seg = 0; seg < segments.size(); ++seg) {
@@ -205,7 +216,7 @@ Result<data::Dataset> DistributedExecutor::Run(
       emit_lane(seg_tag + ":" + segment.global->name(), kDriverLane, cursor,
                 modeled);
       cursor += modeled;
-      shards = Shard(processed.value(), nodes);
+      shards = Shard(processed.value(), nodes, options_.io_pool);
     }
   }
 

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "data/io.h"
+#include "common/file_util.h"
 #include "json/writer.h"
 
 namespace dj::obs {
@@ -117,7 +117,19 @@ json::Value MetricsRegistry::SnapshotJson() const {
 Status MetricsRegistry::WriteTo(const std::string& path) const {
   json::WriteOptions options;
   options.pretty = true;
-  return data::WriteFile(path, json::Write(SnapshotJson(), options));
+  return WriteStringToFile(path, json::Write(SnapshotJson(), options));
+}
+
+namespace {
+std::atomic<MetricsRegistry*> g_global_metrics{nullptr};
+}  // namespace
+
+MetricsRegistry* GlobalMetrics() {
+  return g_global_metrics.load(std::memory_order_acquire);
+}
+
+void InstallGlobalMetrics(MetricsRegistry* metrics) {
+  g_global_metrics.store(metrics, std::memory_order_release);
 }
 
 }  // namespace dj::obs

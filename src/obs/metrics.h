@@ -98,6 +98,16 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
+/// Process-wide registry used by deep layers (the data-plane codecs) that
+/// have no natural place to thread a registry pointer through. Returns
+/// nullptr when none is installed — callers then skip metric emission at
+/// the cost of one relaxed atomic load.
+MetricsRegistry* GlobalMetrics();
+
+/// Installs (or, with nullptr, uninstalls) the global registry. The caller
+/// keeps ownership and must uninstall before destroying the registry.
+void InstallGlobalMetrics(MetricsRegistry* metrics);
+
 }  // namespace dj::obs
 
 #endif  // DJ_OBS_METRICS_H_

@@ -1,6 +1,6 @@
 #include "obs/run_journal.h"
 
-#include "data/io.h"
+#include "common/file_util.h"
 #include "json/writer.h"
 
 namespace dj::obs {
@@ -106,7 +106,7 @@ json::Value RunJournal::MetricsJson() const {
 Status RunJournal::WriteMetrics(const std::string& path) const {
   json::WriteOptions options;
   options.pretty = true;
-  return data::WriteFile(path, json::Write(MetricsJson(), options));
+  return WriteStringToFile(path, json::Write(MetricsJson(), options));
 }
 
 Status RunJournal::WriteTrace(const std::string& path) const {

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "data/io.h"
+#include "common/file_util.h"
 #include "json/writer.h"
 
 namespace dj::obs {
@@ -169,7 +169,7 @@ json::Value SpanRecorder::ToJson() const {
 Status SpanRecorder::WriteTo(const std::string& path) const {
   json::WriteOptions options;
   options.pretty = true;
-  return data::WriteFile(path, json::Write(ToJson(), options));
+  return WriteStringToFile(path, json::Write(ToJson(), options));
 }
 
 }  // namespace dj::obs

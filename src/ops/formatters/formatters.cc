@@ -220,11 +220,16 @@ Result<data::Dataset> CodeFormatter::LoadFromString(std::string_view content,
 
 // ---------------------------------------------------------- LoadDataset --
 
-Result<data::Dataset> LoadDataset(const std::string& path) {
+Result<data::Dataset> LoadDataset(const std::string& path, ThreadPool* pool) {
+  // Binary containers bypass the formatter layer entirely (SuffixOf would
+  // see only ".djlz" for the compound suffix).
+  if (EndsWith(path, ".djds") || EndsWith(path, ".djds.djlz")) {
+    return data::ImportDataset(path, pool);
+  }
   std::string suffix = SuffixOf(path);
   json::Value empty_config{json::Object()};
   if (suffix == ".jsonl" || suffix == ".ndjson") {
-    return JsonlFormatter(empty_config).LoadFile(path);
+    return data::ReadJsonl(path, pool);
   }
   if (suffix == ".json") {
     return JsonFormatter(empty_config).LoadFile(path);

@@ -69,9 +69,11 @@ class CodeFormatter : public Formatter {
 };
 
 /// Dispatches on the path suffix (.jsonl/.json/.txt/.md/.csv/.tsv/code
-/// suffixes) and loads with the matching formatter — the unified loading
-/// entry point of paper Sec. 4.1.
-Result<data::Dataset> LoadDataset(const std::string& path);
+/// suffixes, plus the binary .djds / .djds.djlz containers) and loads with
+/// the matching formatter — the unified loading entry point of paper
+/// Sec. 4.1. JSONL and binary containers parse/decode on `pool` when given.
+Result<data::Dataset> LoadDataset(const std::string& path,
+                                  ThreadPool* pool = nullptr);
 
 /// Declared parameter schemas of the formatter OPs above.
 std::vector<OpSchema> FormatterSchemas();

@@ -39,17 +39,44 @@ done > "${smoke_dir}/in.jsonl"
   --output "${smoke_dir}/out.jsonl" \
   --trace-out "${smoke_dir}/trace.json" \
   --metrics-out "${smoke_dir}/metrics.json"
-"${build_dir}/tools/dj_trace_check" \
+"${build_dir}/tools/dj_trace_check" --require-io-spans \
   "${smoke_dir}/trace.json" "${smoke_dir}/metrics.json"
 
-echo "== TSan pass (core/dist/obs tests) =="
+echo "== binary container round-trip (.djds.djlz at --np 4) =="
+# Same recipe, same input, but exported through the compressed binary
+# container; a passthrough recipe then imports it back to JSONL. The result
+# must be byte-identical to the plain JSONL export above — this exercises
+# the sharded DJDS v2 codec and block-parallel djlz end to end with a
+# 4-worker pool.
+"${build_dir}/tools/dj_process" \
+  --recipe "${repo_dir}/configs/recipes/minimal_dedup.yaml" \
+  --input "${smoke_dir}/in.jsonl" \
+  --output "${smoke_dir}/out.djds.djlz" \
+  --np 4
+cat > "${smoke_dir}/passthrough.yaml" <<'EOF'
+project_name: smoke_roundtrip
+np: 4
+EOF
+"${build_dir}/tools/dj_process" \
+  --recipe "${smoke_dir}/passthrough.yaml" \
+  --input "${smoke_dir}/out.djds.djlz" \
+  --output "${smoke_dir}/roundtrip.jsonl" \
+  --no-verify
+cmp "${smoke_dir}/out.jsonl" "${smoke_dir}/roundtrip.jsonl"
+echo "round-trip byte-identical"
+
+echo "== TSan pass (core/dist/obs + parallel I/O tests) =="
 tsan_dir="${build_dir}-tsan"
 cmake -B "${tsan_dir}" -S "${repo_dir}" \
   -DCMAKE_BUILD_TYPE=Debug \
   -DDJ_SANITIZE=thread
-cmake --build "${tsan_dir}" -j --target core_test dist_test obs_test
+cmake --build "${tsan_dir}" -j --target \
+  core_test dist_test obs_test data_test io_parallel_test compress_test
 "${tsan_dir}/tests/core_test"
 "${tsan_dir}/tests/dist_test"
 "${tsan_dir}/tests/obs_test"
+"${tsan_dir}/tests/data_test"
+"${tsan_dir}/tests/io_parallel_test"
+"${tsan_dir}/tests/compress_test"
 
 echo "check.sh: all green"

@@ -20,9 +20,11 @@
 
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "common/resource_monitor.h"
+#include "common/thread_pool.h"
 #include "core/executor.h"
 #include "core/tracer.h"
 #include "data/io.h"
@@ -153,7 +155,32 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--no-verify: continuing despite lint errors\n");
   }
 
-  auto dataset = dj::ops::LoadDataset(recipe.value().dataset_path);
+  // Observability: both sinks spin up when either output flag is given so
+  // metrics.json can embed the registry snapshot and the trace can carry
+  // resource counter tracks. Installed before the dataset loads so the
+  // io.* spans and counters of the parallel data plane are captured too.
+  const bool observe = !args.trace_out.empty() || !args.metrics_out.empty();
+  dj::obs::MetricsRegistry metrics;
+  dj::obs::SpanRecorder spans;
+  dj::ResourceMonitor monitor(0.02);
+  uint64_t monitor_base_ts = 0;
+  if (observe) {
+    dj::obs::InstallGlobalRecorder(&spans);  // OP- and codec-internal spans
+    dj::obs::InstallGlobalMetrics(&metrics);
+    monitor_base_ts = spans.NowMicros();
+    monitor.Start();
+  }
+
+  // Dedicated I/O pool for load/export; the executor spins up its own
+  // worker pool for the OP loop from the same num_workers setting.
+  std::optional<dj::ThreadPool> io_pool;
+  if (recipe.value().num_workers > 1) {
+    io_pool.emplace(static_cast<size_t>(recipe.value().num_workers));
+  }
+  dj::ThreadPool* io_pool_ptr = io_pool ? &*io_pool : nullptr;
+
+  auto dataset =
+      dj::ops::LoadDataset(recipe.value().dataset_path, io_pool_ptr);
   if (!dataset.ok()) {
     std::fprintf(stderr, "load error: %s\n",
                  dataset.status().ToString().c_str());
@@ -173,28 +200,15 @@ int main(int argc, char** argv) {
   dj::core::Executor::Options options =
       dj::core::Executor::OptionsFromRecipe(recipe.value());
   if (args.trace) options.tracer = &tracer;
-
-  // Observability: both sinks spin up when either output flag is given so
-  // metrics.json can embed the registry snapshot and the trace can carry
-  // resource counter tracks.
-  const bool observe = !args.trace_out.empty() || !args.metrics_out.empty();
-  dj::obs::MetricsRegistry metrics;
-  dj::obs::SpanRecorder spans;
-  dj::ResourceMonitor monitor(0.02);
-  uint64_t monitor_base_ts = 0;
   if (observe) {
     options.metrics = &metrics;
     options.spans = &spans;
-    dj::obs::InstallGlobalRecorder(&spans);  // OP-internal DJ_OBS_SPANs
-    monitor_base_ts = spans.NowMicros();
-    monitor.Start();
   }
 
   dj::core::Executor executor(options);
   dj::core::RunReport report;
   auto refined =
       executor.Run(std::move(dataset).value(), ops.value(), &report);
-  if (observe) dj::obs::InstallGlobalRecorder(nullptr);
   if (!refined.ok()) {
     std::fprintf(stderr, "run error: %s\n",
                  refined.status().ToString().c_str());
@@ -203,7 +217,23 @@ int main(int argc, char** argv) {
   std::printf("%s", report.ToString().c_str());
   if (args.trace) std::printf("\n%s", tracer.Summary().c_str());
 
+  // Export before the journal flush so the exporter's io.* spans (parse,
+  // serialize, compress) land in the trace file.
+  if (!recipe.value().export_path.empty()) {
+    if (auto s = dj::data::ExportDataset(refined.value(),
+                                         recipe.value().export_path,
+                                         io_pool_ptr);
+        !s.ok()) {
+      std::fprintf(stderr, "export error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("exported %zu samples to %s\n", refined.value().NumRows(),
+                recipe.value().export_path.c_str());
+  }
+
   if (observe) {
+    dj::obs::InstallGlobalRecorder(nullptr);
+    dj::obs::InstallGlobalMetrics(nullptr);
     dj::ResourceReport resources = monitor.Stop();
     dj::obs::RunJournal journal(&metrics, &spans);
     journal.SetRunInfo(args.recipe_path, recipe.value().dataset_path);
@@ -246,15 +276,5 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!recipe.value().export_path.empty()) {
-    if (auto s = dj::data::WriteJsonl(refined.value(),
-                                      recipe.value().export_path);
-        !s.ok()) {
-      std::fprintf(stderr, "export error: %s\n", s.ToString().c_str());
-      return 1;
-    }
-    std::printf("exported %zu samples to %s\n", refined.value().NumRows(),
-                recipe.value().export_path.c_str());
-  }
   return 0;
 }

@@ -4,9 +4,10 @@
 // the keys downstream consumers (Perfetto, BENCH trajectory tooling) rely
 // on.
 //
-// Usage: dj_trace_check trace.json metrics.json
+// Usage: dj_trace_check [--require-io-spans] trace.json metrics.json
 // Exits 0 when both are valid; prints the first violation and exits 1
-// otherwise.
+// otherwise. With --require-io-spans, the trace must also carry at least
+// one "io.*" span (parse/serialize/compress from the parallel data plane).
 
 #include <cstdio>
 #include <string>
@@ -24,7 +25,7 @@ bool Fail(const char* file, const std::string& why) {
   return false;
 }
 
-bool CheckTrace(const char* path) {
+bool CheckTrace(const char* path, bool require_io_spans) {
   auto content = dj::data::ReadFile(path);
   if (!content.ok()) return Fail(path, content.status().ToString());
   auto parsed = dj::json::ParseStrict(content.value());
@@ -37,6 +38,7 @@ bool CheckTrace(const char* path) {
   }
   if (events->as_array().empty()) return Fail(path, "traceEvents is empty");
   size_t complete_events = 0;
+  size_t io_spans = 0;
   for (const Value& e : events->as_array()) {
     if (!e.is_object()) return Fail(path, "event is not an object");
     for (const char* key : {"name", "ph", "ts", "pid", "tid"}) {
@@ -50,13 +52,19 @@ bool CheckTrace(const char* path) {
         return Fail(path, "complete event missing 'dur'");
       }
       ++complete_events;
+      const std::string& name = e.as_object().Find("name")->as_string();
+      if (name.rfind("io.", 0) == 0) ++io_spans;
     }
   }
   if (complete_events == 0) {
     return Fail(path, "no complete ('X') events — no spans were recorded");
   }
-  std::printf("dj_trace_check: %s ok (%zu events, %zu spans)\n", path,
-              events->as_array().size(), complete_events);
+  if (require_io_spans && io_spans == 0) {
+    return Fail(path,
+                "no 'io.*' spans — the data-plane codecs were not traced");
+  }
+  std::printf("dj_trace_check: %s ok (%zu events, %zu spans, %zu io spans)\n",
+              path, events->as_array().size(), complete_events, io_spans);
   return true;
 }
 
@@ -101,11 +109,19 @@ bool CheckMetrics(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: %s trace.json metrics.json\n", argv[0]);
+  bool require_io_spans = false;
+  int arg = 1;
+  if (arg < argc && std::string(argv[arg]) == "--require-io-spans") {
+    require_io_spans = true;
+    ++arg;
+  }
+  if (argc - arg != 2) {
+    std::fprintf(stderr,
+                 "usage: %s [--require-io-spans] trace.json metrics.json\n",
+                 argv[0]);
     return 2;
   }
-  bool ok = CheckTrace(argv[1]);
-  ok = CheckMetrics(argv[2]) && ok;
+  bool ok = CheckTrace(argv[arg], require_io_spans);
+  ok = CheckMetrics(argv[arg + 1]) && ok;
   return ok ? 0 : 1;
 }
