@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "core/plan_verify.h"
 #include "json/writer.h"
 
 namespace dj::core {
@@ -83,6 +84,13 @@ std::string RunReport::ToString() const {
                 total_seconds, rows_in, rows_out, cache_hits,
                 resumed_from_checkpoint ? ", resumed from checkpoint" : "");
   out += buf;
+  if (plan_rejected) {
+    out += "plan: refused by effect verification, ran in recipe order\n";
+  } else if (plan_swaps > 0) {
+    std::snprintf(buf, sizeof(buf), "plan: %zu effect-licensed swap(s)\n",
+                  plan_swaps);
+    out += buf;
+  }
   return out;
 }
 
@@ -224,6 +232,38 @@ Result<data::Dataset> Executor::Run(data::Dataset dataset,
 
   FusionOptions fusion_options{options_.op_fusion, options_.op_reorder};
   std::vector<PlanUnit> plan = PlanFusion(ops, fusion_options);
+
+  // Static plan verification: every fusion/reorder decision must be
+  // licensed by the declared OP effect signatures (no more blanket "all
+  // Filters commute"). An unlicensed plan is refused and the run falls
+  // back to recipe order.
+  if (options_.op_fusion || options_.op_reorder) {
+    const ops::OpRegistry& registry = options_.registry != nullptr
+                                          ? *options_.registry
+                                          : ops::OpRegistry::Global();
+    PlanVerdict verdict = VerifyPlan(ops, plan, registry);
+    if (!verdict.ok) {
+      rep->plan_rejected = true;
+      DJ_LOG(Warning)
+          << "plan verification refused the optimized plan; falling back "
+             "to recipe order:\n"
+          << verdict.ToString();
+      if (options_.metrics != nullptr) {
+        options_.metrics->GetCounter("executor.plan_rejected")->Increment();
+      }
+      if (options_.spans != nullptr) {
+        options_.spans->EmitInstant("plan.rejected", "executor",
+                                    options_.spans->NowMicros());
+      }
+      plan = PlanFusion(ops, FusionOptions{false, false});
+    } else {
+      rep->plan_swaps = verdict.swaps.size();
+      if (options_.metrics != nullptr && !verdict.swaps.empty()) {
+        options_.metrics->GetCounter("executor.plan_swaps_verified")
+            ->Add(verdict.swaps.size());
+      }
+    }
+  }
 
   // Cumulative config-hash keys: key_before[i] identifies the pipeline state
   // entering unit i; key_after[i] the state after it.

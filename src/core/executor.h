@@ -39,6 +39,11 @@ struct RunReport {
   size_t rows_out = 0;
   size_t cache_hits = 0;
   bool resumed_from_checkpoint = false;
+  /// Plan verification outcome (core::VerifyPlan): how many effect-licensed
+  /// order swaps the executed plan contains, and whether an unlicensed plan
+  /// was refused (the executor then fell back to recipe order).
+  size_t plan_swaps = 0;
+  bool plan_rejected = false;
 
   std::string ToString() const;
 };
@@ -53,6 +58,12 @@ class Executor {
     int num_workers = 1;
     bool op_fusion = false;
     bool op_reorder = false;
+
+    /// Registry whose effect signatures license plan transformations
+    /// (core::VerifyPlan); null = ops::OpRegistry::Global(). A plan the
+    /// effects don't license is refused and the run falls back to recipe
+    /// order (reported via RunReport::plan_rejected and obs).
+    const ops::OpRegistry* registry = nullptr;
 
     bool use_cache = false;
     std::string cache_dir;

@@ -58,10 +58,23 @@ void FlushFilterGroup(std::vector<ops::Filter*>* group,
       singles.push_back(filters.front());
     }
   }
+  // Both sorts below are stable on CostEstimate ties: equal-cost units keep
+  // recipe order, so the plan (and dj_lint --explain-plan) is deterministic
+  // across platforms and STL implementations.
   if (options.enable_reorder) {
     std::stable_sort(singles.begin(), singles.end(),
                      [](const ops::Filter* a, const ops::Filter* b) {
                        return a->CostEstimate() < b->CostEstimate();
+                     });
+    auto group_cost = [](const std::vector<ops::Filter*>& g) {
+      double total = 0;
+      for (const ops::Filter* f : g) total += f->CostEstimate();
+      return total;
+    };
+    std::stable_sort(fused_groups.begin(), fused_groups.end(),
+                     [&](const std::vector<ops::Filter*>& a,
+                         const std::vector<ops::Filter*>& b) {
+                       return group_cost(a) < group_cost(b);
                      });
   }
   for (ops::Filter* f : singles) {

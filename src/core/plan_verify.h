@@ -1,0 +1,56 @@
+#ifndef DJ_CORE_PLAN_VERIFY_H_
+#define DJ_CORE_PLAN_VERIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/fusion.h"
+#include "ops/registry.h"
+
+namespace dj::core {
+
+/// One order inversion PlanFusion introduced relative to the recipe, with
+/// the effect-based justification (or the conflict that forbids it).
+struct SwapRecord {
+  std::string moved_op;     ///< originally-later OP that now runs first
+  std::string passed_op;    ///< originally-earlier OP it moved ahead of
+  std::string justification;  ///< why the swap is licensed, or the conflict
+  bool allowed = true;
+};
+
+/// Verdict of VerifyPlan: `ok` iff every inversion and every fused pairing
+/// is licensed by the declared effect signatures. `swaps` is the full audit
+/// trail (allowed and refused); `violations` the human-readable refusals.
+struct PlanVerdict {
+  bool ok = true;
+  std::vector<SwapRecord> swaps;
+  std::vector<std::string> violations;
+
+  std::string ToString() const;
+};
+
+/// Statically checks `plan` (a PlanFusion output over `op_list`) against the
+/// effect signatures registered in `registry`:
+///
+///  - every OP of `op_list` must appear exactly once in the plan;
+///  - two OPs whose order was inverted may swap only if their resolved
+///    read/write sets do not conflict (ops::DescribeConflict);
+///  - members of a fused unit are co-scheduled, so every pair inside a unit
+///    must be conflict-free as well.
+///
+/// OPs without a registered effect signature are handled conservatively:
+/// any inversion or fusion involving them is refused (identity plans always
+/// pass). This replaces the executor's former blanket "all Filters
+/// commute" assumption.
+PlanVerdict VerifyPlan(const std::vector<ops::Op*>& op_list,
+                       const std::vector<PlanUnit>& plan,
+                       const ops::OpRegistry& registry);
+
+/// Convenience overload over owned OP lists (core::BuildOps output).
+PlanVerdict VerifyPlan(const std::vector<std::unique_ptr<ops::Op>>& op_list,
+                       const std::vector<PlanUnit>& plan,
+                       const ops::OpRegistry& registry);
+
+}  // namespace dj::core
+
+#endif  // DJ_CORE_PLAN_VERIFY_H_

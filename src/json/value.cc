@@ -31,6 +31,16 @@ void Object::Set(std::string key, Value value) {
   entries_.emplace_back(std::move(key), std::move(value));
 }
 
+void Object::SetSorted(std::string key, Value value) {
+  if (Value* existing = Find(key)) {
+    *existing = std::move(value);
+    return;
+  }
+  auto it = entries_.begin();
+  while (it != entries_.end() && it->first < key) ++it;
+  entries_.emplace(it, std::move(key), std::move(value));
+}
+
 bool Object::Erase(std::string_view key) {
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->first == key) {

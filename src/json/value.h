@@ -36,6 +36,12 @@ class Object {
   /// Inserts or overwrites.
   void Set(std::string key, Value value);
 
+  /// Inserts keeping keys in lexicographic order (overwrites in place).
+  /// Used for the "stats" object so its serialized form is independent of
+  /// the order OPs computed the stats in (plan fusion/reordering must not
+  /// change exported bytes).
+  void SetSorted(std::string key, Value value);
+
   /// Removes `key` if present; returns whether it was present.
   bool Erase(std::string_view key);
 

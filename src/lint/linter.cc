@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
+#include <map>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "common/string_util.h"
 #include "core/fusion.h"
+#include "data/sample.h"
+#include "ops/op_effects.h"
 
 namespace dj::lint {
 namespace {
@@ -166,6 +171,11 @@ LintReport RecipeLinter::Lint(const core::Recipe& recipe) const {
   // ----- Per-OP checks --------------------------------------------------
   const std::vector<std::string> op_names = registry_.Names();
   std::vector<std::unique_ptr<ops::Op>> instances(recipe.process.size());
+  // Keep-window facts gathered for the dataflow pass below: whether each
+  // OP's [min, max] spans its schema's whole valid range (the filter then
+  // drops nothing), and the first OP whose keep-range is empty.
+  std::vector<bool> vacuous_bounds(recipe.process.size(), false);
+  int first_empty_range = -1;
   for (size_t i = 0; i < recipe.process.size(); ++i) {
     const core::OpSpec& spec = recipe.process[i];
     const int idx = static_cast<int>(i);
@@ -231,7 +241,12 @@ LintReport RecipeLinter::Lint(const core::Recipe& recipe) const {
               "empty keep-range: effective min " + FormatBound(min_eff) +
                   " > max " + FormatBound(max_eff) +
                   " discards every sample");
+          if (first_empty_range < 0) first_empty_range = idx;
         }
+        vacuous_bounds[i] =
+            min_eff <= min_spec->min_value &&
+            (max_eff >= max_spec->max_value ||
+             max_eff >= std::numeric_limits<double>::max());
       }
     }
 
@@ -274,6 +289,124 @@ LintReport RecipeLinter::Lint(const core::Recipe& recipe) const {
             "move dedup after the mappers so cleaned duplicates collide");
         break;
       }
+    }
+  }
+
+  // ----- Effect dataflow (available-field propagation) -----------------
+  // Walk the pipeline with the declared OpEffects, tracking which stats
+  // keys earlier OPs have produced. The "stats" column is a closed
+  // namespace — it only exists through this recipe's own OPs — so a read
+  // of a never-produced stats field is a hard error. Reads of other
+  // columns (text, meta.*) depend on the input data, which static
+  // analysis cannot see.
+  if (options_.effects_checks) {
+    std::vector<std::optional<ops::ResolvedEffects>> fx(instances.size());
+    for (size_t i = 0; i < instances.size(); ++i) {
+      if (instances[i] == nullptr) continue;
+      const int idx = static_cast<int>(i);
+      const ops::OpEffects* effects =
+          registry_.FindEffects(instances[i]->name());
+      if (effects == nullptr) {
+        add(Severity::kNote, idx, recipe.process[i].name,
+            "OP has no declared effect signature; dataflow not checked");
+        continue;
+      }
+      auto resolved = effects->Resolve(*instances[i]);
+      if (!resolved.ok()) {
+        add(Severity::kWarning, idx, recipe.process[i].name,
+            "effect signature does not resolve: " +
+                resolved.status().ToString());
+        continue;
+      }
+      fx[i] = std::move(resolved).value();
+    }
+
+    const std::string stats_prefix = std::string(data::kStatsField) + ".";
+    auto is_own_stat = [](const ops::ResolvedEffects& e,
+                          const std::string& key) {
+      return std::find(e.stats.begin(), e.stats.end(), key) != e.stats.end();
+    };
+    std::map<std::string, size_t> stat_producer;  // stat key -> OP index
+    for (size_t i = 0; i < fx.size(); ++i) {
+      if (!fx[i].has_value()) continue;
+      const int idx = static_cast<int>(i);
+      for (const std::string& path : fx[i]->reads) {
+        if (path.compare(0, stats_prefix.size(), stats_prefix) != 0) {
+          continue;
+        }
+        std::string key = path.substr(stats_prefix.size());
+        if (is_own_stat(*fx[i], key)) continue;
+        if (stat_producer.find(key) != stat_producer.end()) continue;
+        std::string hint;
+        for (const ops::OpEffects* e : registry_.AllEffects()) {
+          const auto& produced = e->stats_produced();
+          if (std::find(produced.begin(), produced.end(), key) !=
+              produced.end()) {
+            hint = "run '" + e->op_name() + "' earlier in the recipe to "
+                   "produce it";
+            break;
+          }
+        }
+        add(Severity::kError, idx, recipe.process[i].name,
+            "reads stat '" + key + "' ('" + path +
+                "') which no earlier OP produces",
+            hint);
+      }
+      for (const std::string& key : fx[i]->stats) {
+        auto it = stat_producer.find(key);
+        if (it != stat_producer.end()) {
+          add(Severity::kWarning, idx, recipe.process[i].name,
+              "stat '" + key + "' was already produced by op[" +
+                  std::to_string(it->second) + "] '" +
+                  recipe.process[it->second].name +
+                  "'; ComputeStats skips present stats, so this OP filters "
+                  "on the earlier OP's value",
+              "give the two OPs different text_key fields or drop one");
+        } else {
+          stat_producer[key] = i;
+        }
+      }
+    }
+
+    // Dead stat writes: the OP computes a stat but its keep-window spans
+    // the whole valid range (drops nothing), no later OP reads the stat,
+    // and the recipe exports nothing that would carry it. Advisory only —
+    // analysis-style recipes do this on purpose and export via --output.
+    if (recipe.export_path.empty()) {
+      for (size_t i = 0; i < fx.size(); ++i) {
+        if (!fx[i].has_value() || !vacuous_bounds[i]) continue;
+        for (const std::string& key : fx[i]->stats) {
+          if (stat_producer.find(key) != stat_producer.end() &&
+              stat_producer[key] != i) {
+            continue;  // collision already diagnosed above
+          }
+          bool read_later = false;
+          for (size_t j = i + 1; j < fx.size() && !read_later; ++j) {
+            if (!fx[j].has_value()) continue;
+            std::string path = stats_prefix + key;
+            read_later = !is_own_stat(*fx[j], key) &&
+                         std::find(fx[j]->reads.begin(), fx[j]->reads.end(),
+                                   path) != fx[j]->reads.end();
+          }
+          if (!read_later) {
+            add(Severity::kNote, static_cast<int>(i), recipe.process[i].name,
+                "dead write: stat '" + key + "' is computed but the bounds "
+                "keep every sample, no later OP reads it, and the recipe "
+                "has no export_path");
+          }
+        }
+      }
+    }
+
+    // Everything after an empty keep-range runs on zero rows.
+    if (first_empty_range >= 0 &&
+        static_cast<size_t>(first_empty_range) + 1 < instances.size()) {
+      add(Severity::kWarning, first_empty_range + 1,
+          recipe.process[first_empty_range + 1].name,
+          "unreachable: op[" + std::to_string(first_empty_range) + "] '" +
+              recipe.process[first_empty_range].name +
+              "' discards every sample, so this OP and all later OPs "
+              "process nothing");
     }
   }
 

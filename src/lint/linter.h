@@ -66,12 +66,17 @@ struct LintReport {
 ///   - duplicate identical OPs;
 ///   - use_cache / use_checkpoint without a directory;
 ///   - deduplication placed before cleaning mappers;
-///   - fusion-blocker notes from a dry core::PlanFusion pass.
+///   - fusion-blocker notes from a dry core::PlanFusion pass;
+///   - effect-dataflow findings (reads of never-produced stats fields,
+///     stat-key collisions, dead stat writes, unreachable OPs) by
+///     propagating the available-field set through the declared OpEffects.
 class RecipeLinter {
  public:
   struct Options {
     /// Emit kNote diagnostics about OP fusion (blockers + opportunities).
     bool fusion_notes = true;
+    /// Run the effect-dataflow pass over the declared OpEffects.
+    bool effects_checks = true;
   };
 
   explicit RecipeLinter(const ops::OpRegistry& registry)

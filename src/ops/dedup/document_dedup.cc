@@ -87,8 +87,7 @@ Status DocumentExactDeduplicator::ComputeHash(data::RowRef row,
   Fingerprint128 fp = FingerprintOf(RowText(row, text_key()));
   fingerprints_[row.row()] = fp;
   // Also expose the hash as a stat for tracing and analysis.
-  return row.Set(std::string(data::kStatsField) + ".doc_hash",
-                 json::Value(FingerprintHex(fp)));
+  return WriteStatSorted(row, "doc_hash", json::Value(FingerprintHex(fp)));
 }
 
 Result<data::Dataset> DocumentExactDeduplicator::Deduplicate(
@@ -346,4 +345,19 @@ std::vector<OpSchema> DocumentDedupSchemas() {
   return out;
 }
 
+
+std::vector<OpEffects> DocumentDedupEffects() {
+  std::vector<OpEffects> out;
+  out.emplace_back(
+      OpEffects("document_exact_deduplicator", Cardinality::kRowMerging)
+          .Reads("@text_key")
+          .ProducesStat("doc_hash"));
+  for (const char* name :
+       {"document_minhash_deduplicator", "document_simhash_deduplicator",
+        "ngram_overlap_deduplicator"}) {
+    out.emplace_back(
+        OpEffects(name, Cardinality::kRowMerging).Reads("@text_key"));
+  }
+  return out;
+}
 }  // namespace dj::ops

@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "ops/dedup/minhash.h"
 #include "ops/op_base.h"
+#include "ops/op_effects.h"
 #include "ops/param_spec.h"
 
 namespace dj::ops {
@@ -103,6 +104,10 @@ class NgramOverlapDeduplicator : public Deduplicator {
 
 /// Declared parameter schemas of the document deduplicators above.
 std::vector<OpSchema> DocumentDedupSchemas();
+
+/// Declared effect signatures of this family (registered next to the
+/// schemas; see OpEffects).
+std::vector<OpEffects> DocumentDedupEffects();
 
 }  // namespace dj::ops
 

@@ -133,4 +133,17 @@ std::vector<OpSchema> GranularDedupSchemas() {
   return out;
 }
 
+
+std::vector<OpEffects> GranularDedupEffects() {
+  std::vector<OpEffects> out;
+  // Granular dedups rewrite the text field (duplicate paragraphs/sentences
+  // are removed in place) on top of their cross-row decisions.
+  for (const char* name :
+       {"paragraph_exact_deduplicator", "sentence_exact_deduplicator"}) {
+    out.emplace_back(OpEffects(name, Cardinality::kRowMerging)
+                         .Reads("@text_key")
+                         .Writes("@text_key"));
+  }
+  return out;
+}
 }  // namespace dj::ops

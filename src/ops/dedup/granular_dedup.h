@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ops/op_base.h"
+#include "ops/op_effects.h"
 #include "ops/param_spec.h"
 
 namespace dj::ops {
@@ -57,6 +58,10 @@ class SentenceExactDeduplicator : public GranularDeduplicatorBase {
 
 /// Declared parameter schemas of the granular deduplicators above.
 std::vector<OpSchema> GranularDedupSchemas();
+
+/// Declared effect signatures of this family (registered next to the
+/// schemas; see OpEffects).
+std::vector<OpEffects> GranularDedupEffects();
 
 }  // namespace dj::ops
 

@@ -153,4 +153,20 @@ std::vector<OpSchema> FieldFilterSchemas() {
   return out;
 }
 
+
+std::vector<OpEffects> FieldFilterEffects() {
+  std::vector<OpEffects> out;
+  out.emplace_back(OpEffects("suffix_filter", Cardinality::kRowDropping)
+                       .Reads("@field")
+                       .ProducesStat(std::string(stats_keys::kSuffix)));
+  // The specified-field family keeps its predicate on the live field (no
+  // stats indirection), so the read set is just the configured field.
+  for (const char* name :
+       {"specified_field_filter", "specified_numeric_field_filter",
+        "field_exists_filter"}) {
+    out.emplace_back(
+        OpEffects(name, Cardinality::kRowDropping).Reads("@field"));
+  }
+  return out;
+}
 }  // namespace dj::ops

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ops/op_base.h"
+#include "ops/op_effects.h"
 #include "ops/param_spec.h"
 #include "ops/stats_keys.h"
 
@@ -76,6 +77,10 @@ class FieldExistsFilter : public Filter {
 
 /// Declared parameter schemas of the field filters above.
 std::vector<OpSchema> FieldFilterSchemas();
+
+/// Declared effect signatures of this family (registered next to the
+/// schemas; see OpEffects).
+std::vector<OpEffects> FieldFilterEffects();
 
 }  // namespace dj::ops
 

@@ -126,4 +126,27 @@ std::vector<OpSchema> LexiconFilterSchemas() {
   return out;
 }
 
+
+std::vector<OpEffects> LexiconFilterEffects() {
+  namespace sk = stats_keys;
+  std::vector<OpEffects> out;
+  out.emplace_back(OpEffects("flagged_words_filter", Cardinality::kRowDropping)
+                       .Reads("@text_key")
+                       .ProducesStat(std::string(sk::kFlaggedWordsRatio))
+                       .WithContext());
+  out.emplace_back(OpEffects("stopwords_filter", Cardinality::kRowDropping)
+                       .Reads("@text_key")
+                       .ProducesStat(std::string(sk::kStopwordsRatio))
+                       .WithContext());
+  out.emplace_back(OpEffects("text_action_filter", Cardinality::kRowDropping)
+                       .Reads("@text_key")
+                       .ProducesStat(std::string(sk::kNumActionVerbs))
+                       .WithContext());
+  out.emplace_back(
+      OpEffects("text_entity_dependency_filter", Cardinality::kRowDropping)
+          .Reads("@text_key")
+          .ProducesStat(std::string(sk::kNumEntities))
+          .WithContext());
+  return out;
+}
 }  // namespace dj::ops

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ops/filters/stats_filters.h"
+#include "ops/op_effects.h"
 #include "text/lexicons.h"
 
 namespace dj::ops {
@@ -58,6 +59,10 @@ class TextEntityDependencyFilter : public RangeStatFilter {
 
 /// Declared parameter schemas of the lexicon filters above.
 std::vector<OpSchema> LexiconFilterSchemas();
+
+/// Declared effect signatures of this family (registered next to the
+/// schemas; see OpEffects).
+std::vector<OpEffects> LexiconFilterEffects();
 
 }  // namespace dj::ops
 

@@ -106,4 +106,21 @@ std::vector<OpSchema> ModelFilterSchemas() {
   return out;
 }
 
+
+std::vector<OpEffects> ModelFilterEffects() {
+  namespace sk = stats_keys;
+  std::vector<OpEffects> out;
+  out.emplace_back(
+      OpEffects("language_id_score_filter", Cardinality::kRowDropping)
+          .Reads("@text_key")
+          .ProducesStat(std::string(sk::kLang))
+          .ProducesStat(std::string(sk::kLangScore)));
+  out.emplace_back(OpEffects("perplexity_filter", Cardinality::kRowDropping)
+                       .Reads("@text_key")
+                       .ProducesStat(std::string(sk::kPerplexity)));
+  out.emplace_back(OpEffects("quality_score_filter", Cardinality::kRowDropping)
+                       .Reads("@text_key")
+                       .ProducesStat(std::string(sk::kQualityScore)));
+  return out;
+}
 }  // namespace dj::ops

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ops/op_base.h"
+#include "ops/op_effects.h"
 #include "ops/param_spec.h"
 #include "ops/stats_keys.h"
 #include "quality/quality_classifier.h"
@@ -73,6 +74,10 @@ class QualityScoreFilter : public Filter {
 
 /// Declared parameter schemas of the model-backed filters above.
 std::vector<OpSchema> ModelFilterSchemas();
+
+/// Declared effect signatures of this family (registered next to the
+/// schemas; see OpEffects).
+std::vector<OpEffects> ModelFilterEffects();
 
 }  // namespace dj::ops
 

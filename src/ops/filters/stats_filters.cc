@@ -247,4 +247,48 @@ std::vector<OpSchema> StatsFilterSchemas() {
   return out;
 }
 
+
+namespace {
+
+/// Shared effect shape of the range-stat filters: read the configured text
+/// field, produce one stat, drop rows outside [min, max].
+OpEffects RangeFilterEffects(const char* op_name, std::string_view stat_key,
+                             bool uses_context) {
+  OpEffects e(op_name, Cardinality::kRowDropping);
+  e.Reads("@text_key").ProducesStat(std::string(stat_key));
+  if (uses_context) e.WithContext();
+  return e;
+}
+
+}  // namespace
+
+std::vector<OpEffects> StatsFilterEffects() {
+  namespace sk = stats_keys;
+  std::vector<OpEffects> out;
+  out.push_back(RangeFilterEffects("alphanumeric_filter", sk::kAlnumRatio,
+                                   /*uses_context=*/false));
+  out.push_back(RangeFilterEffects("average_line_length_filter",
+                                   sk::kAvgLineLength, /*uses_context=*/true));
+  out.push_back(RangeFilterEffects("character_repetition_filter",
+                                   sk::kCharRepRatio,
+                                   /*uses_context=*/false));
+  out.push_back(RangeFilterEffects("maximum_line_length_filter",
+                                   sk::kMaxLineLength, /*uses_context=*/true));
+  out.push_back(RangeFilterEffects("special_characters_filter",
+                                   sk::kSpecialCharRatio,
+                                   /*uses_context=*/false));
+  out.push_back(RangeFilterEffects("text_length_filter", sk::kTextLength,
+                                   /*uses_context=*/false));
+  out.push_back(RangeFilterEffects("token_num_filter", sk::kNumTokens,
+                                   /*uses_context=*/false));
+  out.push_back(RangeFilterEffects("word_num_filter", sk::kNumWords,
+                                   /*uses_context=*/true));
+  out.push_back(RangeFilterEffects("word_repetition_filter", sk::kWordRepRatio,
+                                   /*uses_context=*/true));
+  out.push_back(RangeFilterEffects("paragraph_num_filter", sk::kNumParagraphs,
+                                   /*uses_context=*/true));
+  out.push_back(RangeFilterEffects("sentence_num_filter", sk::kNumSentences,
+                                   /*uses_context=*/true));
+  return out;
+}
 }  // namespace dj::ops

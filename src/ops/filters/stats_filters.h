@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ops/op_base.h"
+#include "ops/op_effects.h"
 #include "ops/param_spec.h"
 #include "ops/stats_keys.h"
 
@@ -139,6 +140,10 @@ class SentenceNumFilter : public RangeStatFilter {
 
 /// Declared parameter schemas of the statistics filters above.
 std::vector<OpSchema> StatsFilterSchemas();
+
+/// Declared effect signatures of this family (registered next to the
+/// schemas; see OpEffects).
+std::vector<OpEffects> StatsFilterEffects();
 
 /// Schema skeleton shared by every RangeStatFilter: `min`/`max` keep-bounds
 /// with the filter's effective defaults and valid range.

@@ -261,4 +261,18 @@ std::vector<OpSchema> FormatterSchemas() {
   return out;
 }
 
+
+std::vector<OpEffects> FormatterEffects() {
+  std::vector<OpEffects> out;
+  for (const char* name :
+       {"jsonl_formatter", "json_formatter", "txt_formatter", "csv_formatter",
+        "tsv_formatter", "code_formatter"}) {
+    // Formatters materialize rows from external bytes: they populate the
+    // text and meta columns and read nothing from the dataset.
+    out.emplace_back(OpEffects(name, Cardinality::kRowPreserving)
+                         .Writes("@text_key")
+                         .Writes("meta"));
+  }
+  return out;
+}
 }  // namespace dj::ops

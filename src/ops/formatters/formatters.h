@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ops/op_base.h"
+#include "ops/op_effects.h"
 #include "ops/param_spec.h"
 
 namespace dj::ops {
@@ -77,6 +78,10 @@ Result<data::Dataset> LoadDataset(const std::string& path,
 
 /// Declared parameter schemas of the formatter OPs above.
 std::vector<OpSchema> FormatterSchemas();
+
+/// Declared effect signatures of this family (registered next to the
+/// schemas; see OpEffects).
+std::vector<OpEffects> FormatterEffects();
 
 }  // namespace dj::ops
 

@@ -336,4 +336,19 @@ std::vector<OpSchema> CleanMapperSchemas() {
   return out;
 }
 
+std::vector<OpEffects> CleanMapperEffects() {
+  std::vector<OpEffects> out;
+  for (const char* name : {
+           "clean_copyright_mapper",
+           "clean_email_mapper",
+           "clean_html_mapper",
+           "clean_ip_mapper",
+           "clean_links_mapper",
+       }) {
+    out.emplace_back(OpEffects(name, Cardinality::kRowPreserving)
+                         .Reads("@text_key")
+                         .Writes("@text_key"));
+  }
+  return out;
+}
 }  // namespace dj::ops

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "ops/op_base.h"
+#include "ops/op_effects.h"
 #include "ops/param_spec.h"
 
 namespace dj::ops {
@@ -73,6 +74,10 @@ class CleanLinksMapper : public Mapper {
 
 /// Declared parameter schemas of the cleaning mappers above.
 std::vector<OpSchema> CleanMapperSchemas();
+
+/// Declared effect signatures of this family (registered next to the
+/// schemas; see OpEffects).
+std::vector<OpEffects> CleanMapperEffects();
 
 }  // namespace dj::ops
 

@@ -303,4 +303,19 @@ std::vector<OpSchema> LatexMapperSchemas() {
   return out;
 }
 
+std::vector<OpEffects> LatexMapperEffects() {
+  std::vector<OpEffects> out;
+  for (const char* name : {
+           "expand_macro_mapper",
+           "remove_bibliography_mapper",
+           "remove_comments_mapper",
+           "remove_header_mapper",
+           "remove_table_text_mapper",
+       }) {
+    out.emplace_back(OpEffects(name, Cardinality::kRowPreserving)
+                         .Reads("@text_key")
+                         .Writes("@text_key"));
+  }
+  return out;
+}
 }  // namespace dj::ops

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ops/op_base.h"
+#include "ops/op_effects.h"
 #include "ops/param_spec.h"
 
 namespace dj::ops {
@@ -77,6 +78,10 @@ class RemoveTableTextMapper : public Mapper {
 
 /// Declared parameter schemas of the LaTeX mappers above.
 std::vector<OpSchema> LatexMapperSchemas();
+
+/// Declared effect signatures of this family (registered next to the
+/// schemas; see OpEffects).
+std::vector<OpEffects> LatexMapperEffects();
 
 }  // namespace dj::ops
 

@@ -277,4 +277,24 @@ std::vector<OpSchema> TextMapperSchemas() {
   return out;
 }
 
+std::vector<OpEffects> TextMapperEffects() {
+  std::vector<OpEffects> out;
+  for (const char* name : {
+           "fix_unicode_mapper",
+           "lower_case_mapper",
+           "punctuation_normalization_mapper",
+           "remove_long_words_mapper",
+           "remove_repeat_sentences_mapper",
+           "remove_specific_chars_mapper",
+           "remove_words_with_incorrect_substrings_mapper",
+           "sentence_split_mapper",
+           "whitespace_normalization_mapper",
+           "chinese_convert_mapper",
+       }) {
+    out.emplace_back(OpEffects(name, Cardinality::kRowPreserving)
+                         .Reads("@text_key")
+                         .Writes("@text_key"));
+  }
+  return out;
+}
 }  // namespace dj::ops

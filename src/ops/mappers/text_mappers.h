@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ops/op_base.h"
+#include "ops/op_effects.h"
 #include "ops/param_spec.h"
 
 namespace dj::ops {
@@ -120,6 +121,10 @@ class ChineseConvertMapper : public Mapper {
 
 /// Declared parameter schemas of the text mappers above.
 std::vector<OpSchema> TextMapperSchemas();
+
+/// Declared effect signatures of this family (registered next to the
+/// schemas; see OpEffects).
+std::vector<OpEffects> TextMapperEffects();
 
 }  // namespace dj::ops
 

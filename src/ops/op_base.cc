@@ -47,10 +47,24 @@ Status Mapper::ProcessRow(data::RowRef row, SampleContext* ctx) const {
   return Status::Ok();
 }
 
+Status WriteStatSorted(data::RowRef row, std::string_view key,
+                       json::Value value) {
+  json::Value* cell = row.GetMutable(data::kStatsField);
+  if (cell == nullptr) {
+    return Status::NotFound("column 'stats' does not exist; call "
+                            "EnsureColumn first");
+  }
+  if (cell->is_null()) *cell = json::Value(json::Object());
+  if (!cell->is_object()) {
+    return Status::InvalidArgument("cell 'stats' is not an object");
+  }
+  cell->as_object().SetSorted(std::string(key), std::move(value));
+  return Status::Ok();
+}
+
 Status Filter::WriteStat(data::RowRef row, std::string_view key,
                          json::Value value) const {
-  std::string path = std::string(data::kStatsField) + "." + std::string(key);
-  return row.Set(path, std::move(value));
+  return WriteStatSorted(row, key, std::move(value));
 }
 
 bool Filter::HasStat(data::RowRef row, std::string_view key) const {

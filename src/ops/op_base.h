@@ -19,6 +19,13 @@ enum class OpKind { kFormatter, kMapper, kFilter, kDeduplicator };
 
 const char* OpKindName(OpKind kind);
 
+/// Writes "stats.<key>" of `row`, keeping the stats object's keys in
+/// lexicographic order: exported bytes must not depend on the order a plan
+/// computed the stats in (fusion/reordering would otherwise change output).
+/// The "stats" column must already exist (Dataset::EnsureColumn).
+Status WriteStatSorted(data::RowRef row, std::string_view key,
+                       json::Value value);
+
 /// A recorded duplicate pair, surfaced to the Tracer.
 struct DuplicatePair {
   size_t kept_row;

@@ -31,7 +31,8 @@ void OpRegistry::Register(std::string name, Factory factory) {
       return;
     }
   }
-  entries_.push_back({std::move(name), std::move(factory), std::nullopt});
+  entries_.push_back(
+      {std::move(name), std::move(factory), std::nullopt, std::nullopt});
 }
 
 void OpRegistry::RegisterSchema(OpSchema schema) {
@@ -42,6 +43,17 @@ void OpRegistry::RegisterSchema(OpSchema schema) {
     }
   }
   DJ_LOG(Warning) << "schema for unregistered OP '" << schema.op_name()
+                  << "' dropped";
+}
+
+void OpRegistry::RegisterEffects(OpEffects effects) {
+  for (Entry& entry : entries_) {
+    if (entry.name == effects.op_name()) {
+      entry.effects = std::move(effects);
+      return;
+    }
+  }
+  DJ_LOG(Warning) << "effects for unregistered OP '" << effects.op_name()
                   << "' dropped";
 }
 
@@ -81,6 +93,23 @@ std::vector<const OpSchema*> OpRegistry::AllSchemas() const {
   std::vector<const OpSchema*> out;
   for (const Entry& entry : entries_) {
     if (entry.schema.has_value()) out.push_back(&*entry.schema);
+  }
+  return out;
+}
+
+const OpEffects* OpRegistry::FindEffects(std::string_view name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) {
+      return entry.effects.has_value() ? &*entry.effects : nullptr;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const OpEffects*> OpRegistry::AllEffects() const {
+  std::vector<const OpEffects*> out;
+  for (const Entry& entry : entries_) {
+    if (entry.effects.has_value()) out.push_back(&*entry.effects);
   }
   return out;
 }
@@ -188,6 +217,16 @@ void RegisterBuiltinOps(OpRegistry* r) {
         ModelFilterSchemas(), FieldFilterSchemas(), DocumentDedupSchemas(),
         GranularDedupSchemas()}) {
     for (OpSchema& schema : schemas) r->RegisterSchema(std::move(schema));
+  }
+
+  // Declared effect signatures (one block per OP family); these drive the
+  // linter's dataflow pass and core::VerifyPlan's swap licensing.
+  for (auto effects :
+       {FormatterEffects(), CleanMapperEffects(), TextMapperEffects(),
+        LatexMapperEffects(), StatsFilterEffects(), LexiconFilterEffects(),
+        ModelFilterEffects(), FieldFilterEffects(), DocumentDedupEffects(),
+        GranularDedupEffects()}) {
+    for (OpEffects& e : effects) r->RegisterEffects(std::move(e));
   }
 }
 

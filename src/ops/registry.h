@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "json/value.h"
 #include "ops/op_base.h"
+#include "ops/op_effects.h"
 #include "ops/param_spec.h"
 
 namespace dj::ops {
@@ -36,6 +37,12 @@ class OpRegistry {
   /// RecipeLinter); OPs without one are skipped by param checks.
   void RegisterSchema(OpSchema schema);
 
+  /// Attaches a declared effect signature to the already-registered OP
+  /// `effects.op_name()`. Effects power the linter's dataflow pass and
+  /// core::VerifyPlan; OPs without one make the plan verifier conservative
+  /// (no reorder involving them is licensed).
+  void RegisterEffects(OpEffects effects);
+
   /// Instantiates the OP `name` with `config` (a JSON object of params).
   Result<std::unique_ptr<Op>> Create(std::string_view name,
                                      const json::Value& config) const;
@@ -48,11 +55,17 @@ class OpRegistry {
   /// All registered schemas, in registration order.
   std::vector<const OpSchema*> AllSchemas() const;
 
+  /// Declared effect signature of `name`, or nullptr when none registered.
+  const OpEffects* FindEffects(std::string_view name) const;
+  /// All registered effect signatures, in registration order.
+  std::vector<const OpEffects*> AllEffects() const;
+
  private:
   struct Entry {
     std::string name;
     Factory factory;
     std::optional<OpSchema> schema;
+    std::optional<OpEffects> effects;
   };
   std::vector<Entry> entries_;
 };

@@ -6,6 +6,7 @@
 #include "core/checkpoint.h"
 #include "core/executor.h"
 #include "core/fusion.h"
+#include "core/plan_verify.h"
 #include "core/recipe.h"
 #include "core/space_model.h"
 #include "core/tracer.h"
@@ -738,6 +739,155 @@ TEST(SpaceModelTest, PlanSpaceDegradesGracefully) {
   SpacePlan poor = PlanSpace(shape, 100, 100);
   EXPECT_FALSE(poor.enable_cache);
   EXPECT_FALSE(poor.enable_checkpoint);
+}
+
+// ------------------------------------------------------ plan verifier ----
+
+TEST(FusionTest, ReorderTiesKeepRecipeOrder) {
+  // All three filters cost 0.1: the sort must be stable on ties so the
+  // plan (and --explain-plan output) is deterministic across platforms.
+  Recipe r = MustRecipe(R"(
+process:
+  - specified_field_filter:
+      field: meta.a
+  - field_exists_filter:
+      field: meta.b
+  - suffix_filter:
+      field: meta.c
+)");
+  auto ops = MustBuildOps(r);
+  auto plan = PlanFusion(ops, {true, true});
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0].op->name(), "specified_field_filter");
+  EXPECT_EQ(plan[1].op->name(), "field_exists_filter");
+  EXPECT_EQ(plan[2].op->name(), "suffix_filter");
+}
+
+TEST(PlanVerifyTest, IdentityPlanIsLicensed) {
+  auto ops = FourteenOpPipeline();
+  auto plan = PlanFusion(ops, {false, false});
+  PlanVerdict v = VerifyPlan(ops, plan, ops::OpRegistry::Global());
+  EXPECT_TRUE(v.ok) << v.ToString();
+  EXPECT_TRUE(v.swaps.empty());
+}
+
+TEST(PlanVerifyTest, LicensesEffectDisjointReorder) {
+  auto ops = FourteenOpPipeline();
+  auto plan = PlanFusion(ops, {true, true});
+  PlanVerdict v = VerifyPlan(ops, plan, ops::OpRegistry::Global());
+  EXPECT_TRUE(v.ok) << v.ToString();
+  EXPECT_FALSE(v.swaps.empty());
+  for (const SwapRecord& s : v.swaps) {
+    EXPECT_TRUE(s.allowed);
+    EXPECT_FALSE(s.justification.empty());
+  }
+  EXPECT_NE(v.ToString().find("licensed"), std::string::npos);
+}
+
+TEST(PlanVerifyTest, RejectsStatReadBeforeProducer) {
+  // The cheap field filter consumes the stat the expensive word counter
+  // produces; cost-based reordering would move the read before the write.
+  Recipe r = MustRecipe(R"(
+process:
+  - word_num_filter:
+      min: 1
+  - specified_numeric_field_filter:
+      field: stats.num_words
+      min: 5
+)");
+  auto ops = MustBuildOps(r);
+  auto plan = PlanFusion(ops, {true, true});
+  ASSERT_EQ(plan.size(), 2u);
+  ASSERT_EQ(plan[0].op->name(), "specified_numeric_field_filter");
+  PlanVerdict v = VerifyPlan(ops, plan, ops::OpRegistry::Global());
+  EXPECT_FALSE(v.ok);
+  EXPECT_FALSE(v.violations.empty());
+  EXPECT_NE(v.ToString().find("REFUSED"), std::string::npos);
+  EXPECT_NE(v.violations.front().find("stats.num_words"), std::string::npos);
+}
+
+TEST(PlanVerifyTest, RejectsDroppedOp) {
+  auto ops = FourteenOpPipeline();
+  auto plan = PlanFusion(ops, {false, false});
+  plan.pop_back();
+  PlanVerdict v = VerifyPlan(ops, plan, ops::OpRegistry::Global());
+  EXPECT_FALSE(v.ok);
+  EXPECT_FALSE(v.violations.empty());
+}
+
+TEST(PlanVerifyTest, MissingEffectsAreConservative) {
+  Recipe r = MustRecipe(R"(
+process:
+  - text_length_filter:
+      min: 1
+  - word_num_filter:
+      min: 1
+)");
+  auto ops = MustBuildOps(r);
+  ops::OpRegistry no_effects;  // nothing registered
+
+  // Identity plans always pass, signatures or not.
+  auto identity = PlanFusion(ops, {false, false});
+  EXPECT_TRUE(VerifyPlan(ops, identity, no_effects).ok);
+
+  // An inversion involving an unknown-effect OP is refused...
+  std::vector<PlanUnit> swapped(2);
+  swapped[0].op = ops[1].get();
+  swapped[1].op = ops[0].get();
+  EXPECT_FALSE(VerifyPlan(ops, swapped, no_effects).ok);
+  // ...but licensed once the signatures prove the fields disjoint.
+  EXPECT_TRUE(VerifyPlan(ops, swapped, ops::OpRegistry::Global()).ok);
+}
+
+TEST(ExecutorTest, RefusesUnlicensedReorderAndFallsBack) {
+  Recipe r = MustRecipe(R"(
+process:
+  - word_num_filter:
+      min: 2
+  - specified_numeric_field_filter:
+      field: stats.num_words
+      min: 3
+)");
+  auto naive_ops = MustBuildOps(r);
+  auto opt_ops = MustBuildOps(r);
+  Executor naive(Executor::Options{});
+  Executor::Options opt_options;
+  opt_options.op_fusion = true;
+  opt_options.op_reorder = true;
+  obs::MetricsRegistry metrics;
+  opt_options.metrics = &metrics;
+  Executor optimized(opt_options);
+  RunReport naive_report, opt_report;
+  auto r1 = naive.Run(NoisyCorpus(), naive_ops, &naive_report);
+  auto r2 = optimized.Run(NoisyCorpus(), opt_ops, &opt_report);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_FALSE(naive_report.plan_rejected);
+  EXPECT_TRUE(opt_report.plan_rejected);
+  EXPECT_EQ(opt_report.plan_swaps, 0u);
+  // The refused plan fell back to recipe order: results are identical.
+  ASSERT_EQ(r1.value().NumRows(), r2.value().NumRows());
+  for (size_t i = 0; i < r1.value().NumRows(); ++i) {
+    EXPECT_EQ(r1.value().GetTextAt(i), r2.value().GetTextAt(i));
+  }
+  const obs::Counter* rejected = metrics.FindCounter("executor.plan_rejected");
+  ASSERT_NE(rejected, nullptr);
+  EXPECT_EQ(rejected->value(), 1u);
+  EXPECT_NE(opt_report.ToString().find("refused"), std::string::npos);
+}
+
+TEST(ExecutorTest, ReportsLicensedSwapCount) {
+  auto ops = FourteenOpPipeline();
+  Executor::Options options;
+  options.op_fusion = true;
+  options.op_reorder = true;
+  Executor executor(options);
+  RunReport report;
+  ASSERT_TRUE(executor.Run(NoisyCorpus(), ops, &report).ok());
+  EXPECT_FALSE(report.plan_rejected);
+  EXPECT_GT(report.plan_swaps, 0u);
+  EXPECT_NE(report.ToString().find("effect-licensed swap"),
+            std::string::npos);
 }
 
 }  // namespace

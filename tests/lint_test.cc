@@ -5,6 +5,7 @@
 
 #include "core/recipe.h"
 #include "json/writer.h"
+#include "lint/explain_plan.h"
 #include "lint/linter.h"
 #include "ops/registry.h"
 
@@ -436,6 +437,157 @@ process:
             "languge_id_score_filter");
   // Must serialize without choking.
   EXPECT_FALSE(json::Write(v).empty());
+}
+
+// ---------------------------------------------------- effect dataflow ----
+
+TEST(LinterEffectsTest, ReadOfUndefinedStatsFieldIsError) {
+  LintReport report = LintYaml(R"(
+process:
+  - specified_numeric_field_filter:
+      field: stats.num_words
+      min: 5
+)");
+  EXPECT_TRUE(HasDiagnostic(report, Severity::kError, "no earlier OP produces"))
+      << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(LinterEffectsTest, StatReadAfterProducerIsClean) {
+  LintReport report = LintYaml(R"(
+process:
+  - word_num_filter:
+      min: 1
+  - specified_numeric_field_filter:
+      field: stats.num_words
+      min: 5
+)");
+  EXPECT_FALSE(HasDiagnostic(report, Severity::kError,
+                             "no earlier OP produces"))
+      << report.ToString();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(LinterEffectsTest, StatKeyCollisionIsWarning) {
+  // Both instances write stats.text_len; the second OP's ComputeStats skips
+  // rows that already carry the stat, so its own params never apply.
+  LintReport report = LintYaml(R"(
+process:
+  - text_length_filter:
+      min: 10
+  - text_length_filter:
+      min: 200
+)");
+  EXPECT_TRUE(HasDiagnostic(report, Severity::kWarning, "already produced"))
+      << report.ToString();
+}
+
+TEST(LinterEffectsTest, DeadStatWriteIsNote) {
+  // Vacuous bounds keep every row, nothing downstream reads the stat, and
+  // there is no export_path to surface it.
+  LintReport report = LintYaml(R"(
+process:
+  - text_length_filter:
+      min: 0
+)");
+  EXPECT_TRUE(HasDiagnostic(report, Severity::kNote, "dead write"))
+      << report.ToString();
+}
+
+TEST(LinterEffectsTest, UnreachableOpsAfterEmptyKeepRange) {
+  LintReport report = LintYaml(R"(
+process:
+  - text_length_filter:
+      min: 100
+      max: 10
+  - word_num_filter:
+      min: 1
+)");
+  EXPECT_TRUE(HasDiagnostic(report, Severity::kWarning, "unreachable"))
+      << report.ToString();
+}
+
+TEST(LinterEffectsTest, EffectsChecksCanBeDisabled) {
+  RecipeLinter::Options options;
+  options.effects_checks = false;
+  RecipeLinter linter(ops::OpRegistry::Global(), options);
+  auto recipe = ParseRecipe(R"(
+process:
+  - specified_numeric_field_filter:
+      field: stats.num_words
+      min: 5
+)");
+  LintReport report = linter.Lint(recipe);
+  EXPECT_FALSE(HasDiagnostic(report, Severity::kError,
+                             "no earlier OP produces"))
+      << report.ToString();
+}
+
+// -------------------------------------------------------- explain-plan ----
+
+TEST(ExplainPlanTest, JustifiesLicensedReorder) {
+  auto recipe = ParseRecipe(R"(
+op_fusion: true
+op_reorder: true
+process:
+  - perplexity_filter:
+      max_ppl: 1000
+  - text_length_filter:
+      min: 10
+)");
+  auto out = ExplainPlan(recipe, ops::OpRegistry::Global());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out.value().find("unit["), std::string::npos) << out.value();
+  EXPECT_NE(out.value().find("text_length_filter before perplexity_filter"),
+            std::string::npos)
+      << out.value();
+  EXPECT_NE(out.value().find("verdict: licensed"), std::string::npos)
+      << out.value();
+}
+
+TEST(ExplainPlanTest, ReportsRefusedPlanAndFallback) {
+  auto recipe = ParseRecipe(R"(
+op_fusion: true
+op_reorder: true
+process:
+  - word_num_filter:
+      min: 1
+  - specified_numeric_field_filter:
+      field: stats.num_words
+      min: 5
+)");
+  auto out = ExplainPlan(recipe, ops::OpRegistry::Global());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out.value().find("REFUSED"), std::string::npos) << out.value();
+  EXPECT_NE(out.value().find("fall back to recipe order"), std::string::npos)
+      << out.value();
+}
+
+TEST(ExplainPlanTest, ReportsNoTransformationsWhenDisabled) {
+  auto recipe = ParseRecipe(R"(
+process:
+  - text_length_filter:
+      min: 10
+)");
+  auto out = ExplainPlan(recipe, ops::OpRegistry::Global());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out.value().find("no plan transformations enabled"),
+            std::string::npos)
+      << out.value();
+}
+
+TEST(ExplainPlanTest, ShowsFusedUnits) {
+  auto recipe = ParseRecipe(R"(
+op_fusion: true
+process:
+  - word_num_filter:
+      min: 1
+  - word_repetition_filter:
+      max_ratio: 0.5
+)");
+  auto out = ExplainPlan(recipe, ops::OpRegistry::Global());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out.value().find("fused("), std::string::npos) << out.value();
 }
 
 }  // namespace

@@ -285,5 +285,146 @@ TEST(FormatterTest, LoadDatasetDispatchesOnSuffix) {
   EXPECT_FALSE(LoadDataset(dir + "/missing.jsonl").ok());
 }
 
+// ------------------------------------------------------ effect system ----
+
+TEST(OpEffectsTest, EveryBuiltinOpDeclaresEffects) {
+  const OpRegistry& registry = OpRegistry::Global();
+  for (const std::string& name : registry.Names()) {
+    const OpEffects* effects = registry.FindEffects(name);
+    ASSERT_NE(effects, nullptr) << name << " has no effect signature";
+    EXPECT_EQ(effects->op_name(), name);
+    // No silent empty signatures: every OP must declare at least one field.
+    EXPECT_FALSE(effects->reads().empty() && effects->writes().empty() &&
+                 effects->stats_produced().empty())
+        << name << " declares an empty effect signature";
+  }
+  EXPECT_EQ(registry.AllEffects().size(), registry.Names().size());
+}
+
+TEST(OpEffectsTest, EffectsConsistentWithSchemaAndInstance) {
+  const OpRegistry& registry = OpRegistry::Global();
+  for (const std::string& name : registry.Names()) {
+    const OpEffects* effects = registry.FindEffects(name);
+    ASSERT_NE(effects, nullptr) << name;
+    const OpSchema* schema = registry.FindSchema(name);
+    ASSERT_NE(schema, nullptr) << name;
+    auto op = registry.Create(name, Config());
+    ASSERT_TRUE(op.ok()) << name;
+    auto resolved = effects->Resolve(*op.value());
+    ASSERT_TRUE(resolved.ok())
+        << name << ": " << resolved.status().ToString();
+
+    switch (op.value()->kind()) {
+      case OpKind::kFilter: {
+        EXPECT_EQ(resolved.value().cardinality, Cardinality::kRowDropping)
+            << name;
+        auto* filter = static_cast<Filter*>(op.value().get());
+        // Declared stats must match what ComputeStats actually writes.
+        std::vector<std::string> actual = filter->StatsKeys();
+        std::vector<std::string> declared = resolved.value().stats;
+        std::sort(actual.begin(), actual.end());
+        std::sort(declared.begin(), declared.end());
+        EXPECT_EQ(declared, actual) << name;
+        EXPECT_EQ(resolved.value().uses_context, filter->UsesContext())
+            << name;
+        EXPECT_FALSE(resolved.value().reads.empty()) << name;
+        break;
+      }
+      case OpKind::kMapper: {
+        EXPECT_EQ(resolved.value().cardinality, Cardinality::kRowPreserving)
+            << name;
+        const std::string& key = op.value()->text_key();
+        const auto& reads = resolved.value().reads;
+        const auto& writes = resolved.value().writes;
+        EXPECT_NE(std::find(reads.begin(), reads.end(), key), reads.end())
+            << name;
+        EXPECT_NE(std::find(writes.begin(), writes.end(), key), writes.end())
+            << name;
+        break;
+      }
+      case OpKind::kDeduplicator:
+        EXPECT_EQ(resolved.value().cardinality, Cardinality::kRowMerging)
+            << name;
+        EXPECT_FALSE(resolved.value().reads.empty()) << name;
+        break;
+      case OpKind::kFormatter:
+        EXPECT_EQ(resolved.value().cardinality, Cardinality::kRowPreserving)
+            << name;
+        EXPECT_FALSE(resolved.value().writes.empty()) << name;
+        break;
+    }
+  }
+}
+
+TEST(OpEffectsTest, PlaceholdersResolveAgainstEffectiveConfig) {
+  const OpRegistry& registry = OpRegistry::Global();
+  auto filter = registry.Create("word_num_filter",
+                                Config(R"({"text_key": "text.body"})"));
+  ASSERT_TRUE(filter.ok());
+  auto resolved = registry.FindEffects("word_num_filter")
+                      ->Resolve(*filter.value());
+  ASSERT_TRUE(resolved.ok());
+  const auto& reads = resolved.value().reads;
+  EXPECT_NE(std::find(reads.begin(), reads.end(), "text.body"), reads.end());
+  EXPECT_NE(std::find(reads.begin(), reads.end(), "stats.num_words"),
+            reads.end());
+
+  auto field_filter = registry.Create("specified_numeric_field_filter",
+                                      Config(R"({"field": "meta.stars"})"));
+  ASSERT_TRUE(field_filter.ok());
+  auto field_resolved =
+      registry.FindEffects("specified_numeric_field_filter")
+          ->Resolve(*field_filter.value());
+  ASSERT_TRUE(field_resolved.ok());
+  const auto& field_reads = field_resolved.value().reads;
+  EXPECT_NE(std::find(field_reads.begin(), field_reads.end(), "meta.stars"),
+            field_reads.end());
+}
+
+TEST(OpEffectsTest, FieldPathAliasing) {
+  EXPECT_TRUE(FieldPathsAlias("text", "text"));
+  EXPECT_TRUE(FieldPathsAlias("text", "text.output"));
+  EXPECT_TRUE(FieldPathsAlias("text.output", "text"));
+  EXPECT_FALSE(FieldPathsAlias("text.output", "text.instruction"));
+  EXPECT_FALSE(FieldPathsAlias("stats.num_words", "stats.num_words_x"));
+  EXPECT_FALSE(FieldPathsAlias("text", "textual"));
+}
+
+TEST(OpEffectsTest, ConflictDetection) {
+  const OpRegistry& registry = OpRegistry::Global();
+  auto resolve = [&](std::string_view name, std::string_view config) {
+    auto op = registry.Create(name, Config(config));
+    EXPECT_TRUE(op.ok());
+    auto r = registry.FindEffects(name)->Resolve(*op.value());
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  };
+
+  // Disjoint stats: two filters over the same text commute.
+  EXPECT_EQ(DescribeConflict(resolve("text_length_filter", "{}"),
+                             resolve("word_num_filter", "{}")),
+            "");
+  // Same OP twice: write/write on the shared stat key.
+  EXPECT_NE(DescribeConflict(resolve("text_length_filter", "{}"),
+                             resolve("text_length_filter", "{}")),
+            "");
+  // A filter reading a stat another filter produces: read/write conflict.
+  EXPECT_NE(
+      DescribeConflict(
+          resolve("word_num_filter", "{}"),
+          resolve("specified_numeric_field_filter",
+                  R"({"field": "stats.num_words"})")),
+      "");
+  // A mapper rewriting the text a filter reads: write/read conflict.
+  EXPECT_NE(DescribeConflict(resolve("lower_case_mapper", "{}"),
+                             resolve("word_num_filter", "{}")),
+            "");
+  // Deduplicators never commute, even with disjoint fields.
+  EXPECT_NE(
+      DescribeConflict(resolve("document_minhash_deduplicator", "{}"),
+                       resolve("suffix_filter", R"({"field": "meta.x"})")),
+      "");
+}
+
 }  // namespace
 }  // namespace dj::ops

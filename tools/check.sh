@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# One-shot hygiene gate: sanitized build, full test suite, a lint pass over
-# every shipped recipe, an observability smoke-gate (trace + metrics JSON
-# round-trip), and a ThreadSanitizer pass over the concurrency-heavy tests.
+# One-shot hygiene gate: sanitized build, full test suite, a --Werror lint
+# pass plus plan-explain over every shipped recipe, a clang-tidy/cppcheck
+# static-analysis pass (skipped with a notice when the tools are absent),
+# an observability smoke-gate (trace + metrics JSON round-trip), and a
+# ThreadSanitizer pass over the concurrency-heavy tests.
 # Run from anywhere inside the repo.
 #
 # Usage: tools/check.sh [build-dir]   (default: build-check)
@@ -15,7 +17,8 @@ echo "== configure (ASan+UBSan, -Werror) =="
 cmake -B "${build_dir}" -S "${repo_dir}" \
   -DCMAKE_BUILD_TYPE=Debug \
   -DDJ_SANITIZE=address,undefined \
-  -DDJ_WERROR=ON
+  -DDJ_WERROR=ON \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 
 echo "== build =="
 cmake --build "${build_dir}" -j
@@ -23,8 +26,33 @@ cmake --build "${build_dir}" -j
 echo "== test =="
 ctest --test-dir "${build_dir}" --output-on-failure -j4
 
-echo "== lint shipped recipes =="
-"${build_dir}/tools/dj_lint" --strict "${repo_dir}"/configs/recipes/*.yaml
+echo "== lint shipped recipes (--Werror) =="
+"${build_dir}/tools/dj_lint" --Werror "${repo_dir}"/configs/recipes/*.yaml
+
+echo "== explain shipped plans (must all be licensed) =="
+explain_out="$("${build_dir}/tools/dj_lint" --explain-plan \
+  "${repo_dir}"/configs/recipes/*.yaml)"
+if grep -q "REFUSED" <<< "${explain_out}"; then
+  echo "${explain_out}"
+  echo "check.sh: a shipped recipe's optimized plan was refused" >&2
+  exit 1
+fi
+
+echo "== static analysis (clang-tidy / cppcheck, if installed) =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  git -C "${repo_dir}" ls-files 'src/*.cc' 'tools/*.cc' | while read -r f; do
+    clang-tidy -p "${build_dir}" --quiet "${repo_dir}/${f}"
+  done
+else
+  echo "clang-tidy not installed; skipping (config: .clang-tidy)"
+fi
+if command -v cppcheck >/dev/null 2>&1; then
+  cppcheck --project="${build_dir}/compile_commands.json" \
+    --enable=warning,performance --inline-suppr \
+    --suppress='*:*/third_party/*' --error-exitcode=1 --quiet
+else
+  echo "cppcheck not installed; skipping"
+fi
 
 echo "== trace smoke-gate =="
 smoke_dir="$(mktemp -d)"

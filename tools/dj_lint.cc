@@ -4,12 +4,20 @@
 // minutes into a run.
 //
 // Usage:
-//   dj_lint [--json] [--strict] [--no-fusion-notes] recipe.yaml [more.yaml]
+//   dj_lint [--json] [--strict|--Werror] [--no-fusion-notes]
+//           [--explain-plan] recipe.yaml [more.yaml]
 //   dj_lint --ops [--json]          # list OPs and their declared params
 //
-// Exit codes: 0 = no errors (warnings/notes allowed; --strict promotes
-// warnings), 1 = lint errors or unreadable/unparseable recipe, 2 = usage
-// error.
+// --explain-plan additionally prints each recipe's optimized execution plan
+// with a per-swap justification from the OP effect signatures
+// (core::VerifyPlan).
+//
+// Exit codes:
+//   0  no errors (warnings and notes allowed; with --strict/--Werror,
+//      warnings also count as failures)
+//   1  lint errors, an unreadable/unparseable recipe, or (under
+//      --strict/--Werror) warnings
+//   2  usage error
 
 #include <cstdio>
 #include <string>
@@ -17,6 +25,7 @@
 
 #include "core/recipe.h"
 #include "json/writer.h"
+#include "lint/explain_plan.h"
 #include "lint/linter.h"
 #include "ops/registry.h"
 
@@ -27,13 +36,14 @@ struct Args {
   bool json = false;
   bool strict = false;
   bool fusion_notes = true;
+  bool explain_plan = false;
   bool list_ops = false;
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--json] [--strict] [--no-fusion-notes] "
-               "recipe.yaml [more.yaml ...]\n"
+               "usage: %s [--json] [--strict|--Werror] [--no-fusion-notes] "
+               "[--explain-plan] recipe.yaml [more.yaml ...]\n"
                "       %s --ops [--json]\n",
                argv0, argv0);
   return 2;
@@ -44,8 +54,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     std::string flag = argv[i];
     if (flag == "--json") {
       args->json = true;
-    } else if (flag == "--strict") {
+    } else if (flag == "--strict" || flag == "--Werror") {
       args->strict = true;
+    } else if (flag == "--explain-plan") {
+      args->explain_plan = true;
     } else if (flag == "--no-fusion-notes") {
       args->fusion_notes = false;
     } else if (flag == "--ops") {
@@ -138,6 +150,16 @@ int main(int argc, char** argv) {
       files.emplace_back(std::move(entry));
     } else {
       std::printf("%s:\n%s", path.c_str(), report.ToString().c_str());
+    }
+    if (args.explain_plan) {
+      auto plan = dj::lint::ExplainPlan(recipe.value(), registry);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "%s: --explain-plan failed: %s\n", path.c_str(),
+                     plan.status().ToString().c_str());
+        failed = true;
+      } else if (!args.json) {
+        std::printf("%s", plan.value().c_str());
+      }
     }
   }
 
