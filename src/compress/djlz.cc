@@ -6,6 +6,7 @@
 
 #include "common/hash.h"
 #include "common/stopwatch.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -240,6 +241,15 @@ Result<std::string> DecompressFrame(std::string_view frame, ThreadPool* pool) {
   Stopwatch watch;
   if (frame.size() < 5 || !IsFrame(frame)) {
     return Status::Corruption("djlz: not a frame");
+  }
+  std::string faulted;
+  if (frame.size() > 29 && DJ_FAULT("compress.frame.corrupt")) {
+    // Simulated corruption reaching the decompressor: flip one payload byte
+    // past the header so a block checksum must reject the frame.
+    faulted.assign(frame);
+    faulted[faulted.size() - 2] =
+        static_cast<char>(faulted[faulted.size() - 2] ^ 0x10);
+    frame = faulted;
   }
   const auto* p = reinterpret_cast<const uint8_t*>(frame.data());
   if (p[4] == kFrameVersionV1) {

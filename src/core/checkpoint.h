@@ -22,6 +22,16 @@ struct CheckpointState {
 /// dataset blob plus a JSON manifest; Save overwrites the previous
 /// checkpoint of the same run (the paper keeps the "most optimal recent
 /// processing state").
+///
+/// Save is crash-atomic: the blob is written to a per-pipeline-key file via
+/// temp-file + fsync + rename, and only then is the manifest — which names
+/// the blob file and records its FNV checksum — swung over the old one the
+/// same way. A crash at any point (including between blob and manifest)
+/// leaves the previous manifest/blob pair fully intact. LoadLatest verifies
+/// the manifest's blob checksum and row count before decoding, so a torn or
+/// mismatched blob is rejected with a clear Corruption error instead of
+/// being decoded into garbage. Fail points (src/fault) cover each crash
+/// window: ckpt.blob_write, ckpt.after_blob, ckpt.manifest_write.
 class CheckpointManager {
  public:
   explicit CheckpointManager(std::string dir) : dir_(std::move(dir)) {}
@@ -35,7 +45,11 @@ class CheckpointManager {
 
   Status Save(const CheckpointState& state) const;
 
-  /// Loads the latest checkpoint; returns NotFound when none exists.
+  /// Loads the latest checkpoint. Returns NotFound when none exists and
+  /// Corruption when the manifest is unreadable, the blob is missing or
+  /// torn, or the blob bytes do not match the manifest's checksum/row
+  /// count — callers treat both as "no usable checkpoint" but the error
+  /// text tells an operator what actually happened.
   Result<CheckpointState> LoadLatest() const;
 
   /// Loads only when the stored pipeline key matches `expected_key` for the
@@ -43,11 +57,16 @@ class CheckpointManager {
   /// absence returns NotFound.
   Result<CheckpointState> LoadIfCompatible(uint64_t expected_key) const;
 
+  /// Removes the manifest, every checkpoint blob (current scheme and
+  /// legacy single-file), and any stale temp files.
   void Clear() const;
 
  private:
   std::string ManifestPath() const { return dir_ + "/checkpoint.json"; }
-  std::string DatasetPath() const { return dir_ + "/checkpoint.djds"; }
+  /// Legacy (pre-atomic-Save) single blob path, still readable.
+  std::string LegacyDatasetPath() const { return dir_ + "/checkpoint.djds"; }
+  std::string BlobFileFor(uint64_t pipeline_key) const;
+  void RemoveStaleBlobs(const std::string& keep_basename) const;
 
   std::string dir_;
   ThreadPool* pool_ = nullptr;

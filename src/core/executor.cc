@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "core/plan_verify.h"
+#include "fault/fault.h"
 #include "json/writer.h"
 
 namespace dj::core {
@@ -225,6 +226,10 @@ Result<data::Dataset> Executor::Run(data::Dataset dataset,
                                     RunReport* report) {
   obs::Span run_span(options_.spans, "executor.run", "executor");
   Stopwatch total_watch;
+  if (!options_.faults.empty()) {
+    DJ_RETURN_IF_ERROR(fault::FaultRegistry::Global().Configure(
+        options_.faults));
+  }
   RunReport local_report;
   RunReport* rep = report != nullptr ? report : &local_report;
   rep->op_reports.clear();
@@ -298,6 +303,15 @@ Result<data::Dataset> Executor::Run(data::Dataset dataset,
     checkpoints.emplace(options_.checkpoint_dir);
     checkpoints->SetPool(pool_ptr);
     auto state = checkpoints->LoadLatest();
+    if (!state.ok() && state.status().code() != StatusCode::kNotFound) {
+      // A checkpoint exists but is torn/corrupt: refuse it loudly and run
+      // from scratch rather than decoding garbage.
+      DJ_LOG(Warning) << "ignoring unusable checkpoint: "
+                      << state.status().ToString();
+      if (options_.metrics != nullptr) {
+        options_.metrics->GetCounter("checkpoint.load_rejected")->Increment();
+      }
+    }
     if (state.ok()) {
       for (size_t i = 0; i <= plan.size(); ++i) {
         if (key_before[i] == state.value().pipeline_key) {
@@ -363,6 +377,13 @@ Result<data::Dataset> Executor::Run(data::Dataset dataset,
       // Checkpoint (if enabled) holds the state after unit i-1 already.
       return Status::Internal("injected failure before unit " +
                               r.name);
+    }
+    // Fail-point probe at every OP boundary: an armed "exec.op_abort"
+    // kills the pipeline here, after the state before this unit has been
+    // checkpointed — the crash window --resume must cover.
+    if (DJ_FAULT("exec.op_abort")) {
+      return Status::Aborted("fault injected: exec.op_abort before unit '" +
+                             r.name + "'");
     }
 
     {

@@ -92,6 +92,15 @@ class Executor {
     /// Test hook: the OP at this pipeline index fails after its unit starts
     /// (-1 = disabled). Exercises checkpoint-on-failure.
     int inject_failure_at = -1;
+
+    /// Fail-point activation spec applied to the process-wide
+    /// fault::FaultRegistry at the start of Run() (same syntax as the
+    /// DJ_FAULTS env var, e.g. "seed=7;exec.op_abort=n3"). Empty leaves the
+    /// registry untouched. The executor probes "exec.op_abort" once per
+    /// plan unit, so nth-hit specs kill the pipeline at exact OP
+    /// boundaries; armed points in deeper layers (io.*, ckpt.*,
+    /// compress.*) fire wherever those layers run.
+    std::string faults;
   };
 
   explicit Executor(Options options);

@@ -8,6 +8,7 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "compress/djlz.h"
+#include "fault/fault.h"
 #include "json/parser.h"
 #include "json/writer.h"
 #include "obs/metrics.h"
@@ -441,10 +442,32 @@ Result<Dataset> DeserializeDatasetV2(std::string_view bytes,
 }  // namespace
 
 Result<std::string> ReadFile(const std::string& path) {
-  return ReadFileToString(path);
+  if (DJ_FAULT("io.read.fail")) {
+    return Status::IoError("fault injected: io.read.fail on '" + path + "'");
+  }
+  auto content = ReadFileToString(path);
+  if (content.ok() && !content.value().empty() &&
+      DJ_FAULT("io.read.corrupt")) {
+    // Simulated bit rot between write and read: flip one mid-file byte so
+    // the container checksums (DJDS header/shard, djlz block) must catch it.
+    std::string corrupted = std::move(content).value();
+    corrupted[corrupted.size() / 2] =
+        static_cast<char>(corrupted[corrupted.size() / 2] ^ 0x5A);
+    return corrupted;
+  }
+  return content;
 }
 
 Status WriteFile(const std::string& path, std::string_view content) {
+  if (DJ_FAULT("io.write.fail")) {
+    return Status::IoError("fault injected: io.write.fail on '" + path + "'");
+  }
+  if (DJ_FAULT("io.write.short")) {
+    // Torn write: persist only a prefix and report success — the crash that
+    // truncated the file is only discoverable on the read path, which is
+    // exactly what the container formats must survive.
+    return WriteStringToFile(path, content.substr(0, content.size() * 2 / 3));
+  }
   return WriteStringToFile(path, content);
 }
 

@@ -19,7 +19,15 @@ std::string DistributedReport::ToString() const {
       backend.c_str(), num_nodes, rows_in, rows_out, load_seconds,
       compute_seconds, shuffle_seconds, overhead_seconds, total_seconds,
       measured_compute_seconds);
-  return std::string(buf);
+  std::string out(buf);
+  if (node_failures > 0 || retries > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "\n%-12s node_failures=%zu retries=%zu backoff=%.2fs "
+                  "(all rows still processed exactly once)",
+                  backend.c_str(), node_failures, retries, backoff_seconds);
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace dj::dist

@@ -31,6 +31,21 @@ struct ClusterOptions {
   /// Intra-node parallel efficiency: effective speedup of w workers is
   /// w^efficiency (1.0 = perfect scaling).
   double parallel_efficiency = 0.9;
+
+  /// Failure model (paper Sec. 5.1.1 recovery on clusters where worker
+  /// loss is routine). Each attempt of a row-local shard task dies with
+  /// this probability, drawn from a deterministic RNG seeded by
+  /// `failure_seed` — so a seed fully determines which attempts fail, how
+  /// many retries a run needs, and the modeled timeline. 0 disables the
+  /// failure model. Processing itself is exactly-once regardless: only the
+  /// modeled schedule shows the deaths, backoffs, and requeues.
+  double node_failure_probability = 0.0;
+  uint64_t failure_seed = 42;
+  /// Retries allowed per shard task before the run is abandoned. Each
+  /// retry is requeued onto the next surviving node's lane after an
+  /// exponential backoff of retry_backoff_seconds * 2^attempt.
+  int max_retries_per_shard = 3;
+  double retry_backoff_seconds = 0.5;
 };
 
 /// Modeled + measured timing of a distributed run.
@@ -48,6 +63,11 @@ struct DistributedReport {
   double total_seconds = 0;     ///< modeled wall-clock
 
   double measured_compute_seconds = 0;  ///< real local single-thread time
+
+  /// Failure-model outcomes (deterministic per ClusterOptions::failure_seed).
+  size_t node_failures = 0;     ///< shard-task attempts that died
+  size_t retries = 0;           ///< requeues onto surviving nodes
+  double backoff_seconds = 0;   ///< modeled exponential-backoff wait, summed
 
   std::string ToString() const;
 };

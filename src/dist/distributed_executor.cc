@@ -1,7 +1,9 @@
 #include "dist/distributed_executor.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "common/random.h"
 #include "common/stopwatch.h"
 
 namespace dj::dist {
@@ -104,6 +106,14 @@ Result<data::Dataset> DistributedExecutor::Run(
   double node_speedup =
       EffectiveSpeedup(cluster.workers_per_node, cluster.parallel_efficiency);
 
+  // Failure model: one RNG for the whole run, consumed in shard order, so a
+  // seed fully determines which attempts die (single-node runs have no
+  // worker loss to model).
+  std::optional<Rng> failure_rng;
+  if (distributed && cluster.node_failure_probability > 0) {
+    failure_rng.emplace(cluster.failure_seed);
+  }
+
   // Modeled-timeline emission: `cursor` advances in modeled seconds from
   // `base_ts`; every lane event is placed on that clock, so the exported
   // trace shows the simulated cluster schedule, not local wall time.
@@ -173,6 +183,11 @@ Result<data::Dataset> DistributedExecutor::Run(
     const std::string seg_tag = "seg" + std::to_string(seg);
     if (segment.global == nullptr) {
       // Row-local segment: every node processes its shard independently.
+      // Under the failure model, a shard task may die (probability drawn
+      // from the seeded RNG per attempt); the dead attempt's partial work
+      // and an exponential backoff are charged to the modeled timeline,
+      // and the task is requeued onto the next surviving node's lane. The
+      // real computation below still runs exactly once per shard.
       double slowest_node = 0;
       for (size_t n = 0; n < shards.size(); ++n) {
         data::Dataset& shard = shards[n];
@@ -184,9 +199,42 @@ Result<data::Dataset> DistributedExecutor::Run(
         double measured = watch.ElapsedSeconds();
         rep->measured_compute_seconds += measured;
         double modeled = measured / node_speedup;
-        emit_lane(seg_tag + ":ops", kDriverLane + 1 + static_cast<int64_t>(n),
-                  cursor, modeled);
-        slowest_node = std::max(slowest_node, modeled);
+
+        double shard_start = 0;  // offset of this task's final attempt
+        int64_t lane = kDriverLane + 1 + static_cast<int64_t>(n);
+        if (distributed && failure_rng.has_value()) {
+          int attempt = 0;
+          while (failure_rng->Bernoulli(cluster.node_failure_probability)) {
+            if (attempt >= cluster.max_retries_per_shard) {
+              return Status::Aborted(
+                  "dist: shard " + std::to_string(n) + " of segment " +
+                  seg_tag + " failed after " + std::to_string(attempt + 1) +
+                  " attempts (node_failure_probability=" +
+                  std::to_string(cluster.node_failure_probability) + ")");
+            }
+            // The attempt dies partway through its work; the partition is
+            // requeued on the next node's lane after an exponential
+            // backoff.
+            double died_after = modeled * 0.5;
+            emit_lane(seg_tag + ":shard" + std::to_string(n) + ":died",
+                      lane, cursor + shard_start, died_after);
+            double backoff = cluster.retry_backoff_seconds *
+                             static_cast<double>(uint64_t{1} << attempt);
+            shard_start += died_after;
+            lane = kDriverLane + 1 +
+                   static_cast<int64_t>((n + 1 + static_cast<size_t>(attempt)) %
+                                        nodes);
+            emit_lane("backoff:shard" + std::to_string(n), lane,
+                      cursor + shard_start, backoff);
+            shard_start += backoff;
+            ++attempt;
+            ++rep->node_failures;
+            ++rep->retries;
+            rep->backoff_seconds += backoff;
+          }
+        }
+        emit_lane(seg_tag + ":ops", lane, cursor + shard_start, modeled);
+        slowest_node = std::max(slowest_node, shard_start + modeled);
       }
       rep->compute_seconds += slowest_node;
       cursor += slowest_node;  // barrier: next stage waits for the slowest
@@ -233,6 +281,11 @@ Result<data::Dataset> DistributedExecutor::Run(
     m->GetGauge("dist.shuffle_seconds")->Set(rep->shuffle_seconds);
     m->GetGauge("dist.overhead_seconds")->Set(rep->overhead_seconds);
     m->GetGauge("dist.total_seconds")->Set(rep->total_seconds);
+    if (rep->node_failures > 0 || rep->retries > 0) {
+      m->GetCounter("dist.node_failures")->Add(rep->node_failures);
+      m->GetCounter("dist.retries")->Add(rep->retries);
+      m->GetGauge("dist.backoff_seconds")->Set(rep->backoff_seconds);
+    }
   }
   return result;
 }

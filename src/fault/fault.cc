@@ -1,0 +1,204 @@
+#include "fault/fault.h"
+
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace dj::fault {
+namespace {
+
+/// Records a trigger on the globally installed observability sinks (no-op
+/// without them): counters fault.triggers / fault.<name>.triggers plus a
+/// "fault:<name>" trace instant.
+void RecordTrigger(std::string_view name) {
+  if (obs::MetricsRegistry* m = obs::GlobalMetrics(); m != nullptr) {
+    m->GetCounter("fault.triggers")->Increment();
+    m->GetCounter("fault." + std::string(name) + ".triggers")->Increment();
+  }
+  if (obs::SpanRecorder* r = obs::GlobalRecorder(); r != nullptr) {
+    r->EmitInstant("fault:" + std::string(name), "fault", r->NowMicros());
+  }
+}
+
+Result<FailPointConfig> ParseMode(std::string_view mode) {
+  FailPointConfig config;
+  if (mode == "off") {
+    config.mode = Mode::kOff;
+    return config;
+  }
+  if (mode == "always" || mode == "1") {
+    config.mode = Mode::kAlways;
+    return config;
+  }
+  if (mode.size() > 1 && (mode[0] == 'p' || mode[0] == 'n')) {
+    std::string value(mode.substr(1));
+    char* end = nullptr;
+    if (mode[0] == 'p') {
+      double p = std::strtod(value.c_str(), &end);
+      if (end == nullptr || *end != '\0' || p < 0.0 || p > 1.0) {
+        return Status::InvalidArgument("fault: bad probability '" +
+                                       std::string(mode) + "'");
+      }
+      config.mode = Mode::kProbability;
+      config.probability = p;
+      return config;
+    }
+    unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || n == 0) {
+      return Status::InvalidArgument("fault: bad nth-hit '" +
+                                     std::string(mode) + "' (need n>=1)");
+    }
+    config.mode = Mode::kNthHit;
+    config.nth = n;
+    return config;
+  }
+  return Status::InvalidArgument(
+      "fault: unknown mode '" + std::string(mode) +
+      "' (expected pF, nK, always, or off)");
+}
+
+}  // namespace
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+void FaultRegistry::ReseedPointLocked(const std::string& name, Point* point) {
+  point->rng = Rng(seed_ ^ Fnv1a64(name));
+  point->hits = 0;
+  point->triggers = 0;
+}
+
+Status FaultRegistry::Configure(std::string_view spec) {
+  // Entries are applied in order so "seed=..." can precede the points it
+  // should govern. Parsing errors leave earlier entries applied.
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find_first_of(";,", begin);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view entry = StripAsciiWhitespace(spec.substr(begin, end - begin));
+    begin = end + 1;
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("fault: bad entry '" +
+                                     std::string(entry) +
+                                     "' (expected name=mode)");
+    }
+    std::string_view name = StripAsciiWhitespace(entry.substr(0, eq));
+    std::string_view mode = StripAsciiWhitespace(entry.substr(eq + 1));
+    if (name == "seed") {
+      char* endp = nullptr;
+      std::string value(mode);
+      unsigned long long s = std::strtoull(value.c_str(), &endp, 10);
+      if (endp == nullptr || *endp != '\0') {
+        return Status::InvalidArgument("fault: bad seed '" + value + "'");
+      }
+      SetSeed(s);
+      continue;
+    }
+    DJ_ASSIGN_OR_RETURN(FailPointConfig config, ParseMode(mode));
+    Arm(std::string(name), config);
+  }
+  return Status::Ok();
+}
+
+Status FaultRegistry::ConfigureFromEnv() {
+  const char* spec = std::getenv("DJ_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') return Status::Ok();
+  return Configure(spec);
+}
+
+void FaultRegistry::Arm(std::string name, FailPointConfig config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = points_.try_emplace(std::move(name));
+  it->second.config = config;
+  ReseedPointLocked(it->first, &it->second);
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultRegistry::Disarm(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(name);
+  if (it == points_.end()) return;
+  points_.erase(it);
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_count_.fetch_sub(static_cast<int>(points_.size()),
+                         std::memory_order_relaxed);
+  points_.clear();
+  seed_ = kDefaultSeed;
+  total_triggers_ = 0;
+}
+
+void FaultRegistry::SetSeed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  seed_ = seed;
+  for (auto& [name, point] : points_) ReseedPointLocked(name, &point);
+}
+
+uint64_t FaultRegistry::seed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seed_;
+}
+
+bool FaultRegistry::ShouldFail(std::string_view name) {
+  bool triggered = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = points_.find(name);
+    if (it == points_.end()) return false;
+    Point& point = it->second;
+    ++point.hits;
+    switch (point.config.mode) {
+      case Mode::kOff:
+        break;
+      case Mode::kAlways:
+        triggered = true;
+        break;
+      case Mode::kProbability:
+        triggered = point.rng.Bernoulli(point.config.probability);
+        break;
+      case Mode::kNthHit:
+        triggered = point.hits == point.config.nth;
+        break;
+    }
+    if (triggered) {
+      ++point.triggers;
+      ++total_triggers_;
+    }
+  }
+  // Observability emission happens outside the registry lock: the metric
+  // and span sinks take their own locks.
+  if (triggered) RecordTrigger(name);
+  return triggered;
+}
+
+FailPointStats FaultRegistry::Stats(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(name);
+  if (it == points_.end()) return {};
+  return {it->second.hits, it->second.triggers};
+}
+
+uint64_t FaultRegistry::TotalTriggers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_triggers_;
+}
+
+std::vector<std::string> FaultRegistry::ArmedPoints() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(points_.size());
+  for (const auto& [name, point] : points_) out.push_back(name);
+  return out;
+}
+
+}  // namespace dj::fault

@@ -187,5 +187,126 @@ TEST(DistributedExecutorTest, TraceDrawsShardLanesAndSetsMetrics) {
                    report.total_seconds);
 }
 
+// ----------------------------------------------- node-failure recovery ----
+
+DistributedReport RunWithFailures(double failure_p, uint64_t seed,
+                                  data::Dataset* result_out = nullptr,
+                                  obs::SpanRecorder* spans = nullptr,
+                                  obs::MetricsRegistry* metrics = nullptr) {
+  DistributedExecutor::Options options;
+  options.backend = Backend::kRay;
+  options.cluster.num_nodes = 4;
+  options.cluster.node_failure_probability = failure_p;
+  options.cluster.failure_seed = seed;
+  options.spans = spans;
+  options.metrics = metrics;
+  DistributedExecutor executor(options);
+  auto ops = Pipeline();
+  DistributedReport report;
+  auto result = executor.Run(Corpus(), ops, &report);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (result_out != nullptr && result.ok()) {
+    *result_out = std::move(result).value();
+  }
+  return report;
+}
+
+TEST(NodeFailureTest, RetryCountsAreSeedDeterministic) {
+  DistributedReport a = RunWithFailures(0.35, 7);
+  DistributedReport b = RunWithFailures(0.35, 7);
+  EXPECT_GT(a.node_failures, 0u);  // p=0.35 over 4+ attempts: failures occur
+  EXPECT_EQ(a.node_failures, b.node_failures);
+  EXPECT_EQ(a.retries, b.retries);
+  // Backoff is pure model output; compute_seconds also folds in measured
+  // wall time and so is only *statistically* stable.
+  EXPECT_DOUBLE_EQ(a.backoff_seconds, b.backoff_seconds);
+}
+
+TEST(NodeFailureTest, AllRowsProcessedExactlyOnceDespiteFailures) {
+  data::Dataset reliable, flaky;
+  DistributedReport clean = RunWithFailures(0.0, 7, &reliable);
+  DistributedReport faulty = RunWithFailures(0.4, 7, &flaky);
+  EXPECT_EQ(clean.node_failures, 0u);
+  EXPECT_GT(faulty.node_failures, 0u);
+  ASSERT_EQ(reliable.NumRows(), flaky.NumRows());
+  for (size_t i = 0; i < reliable.NumRows(); ++i) {
+    EXPECT_EQ(reliable.GetTextAt(i), flaky.GetTextAt(i));
+  }
+}
+
+TEST(NodeFailureTest, FailuresLengthenTheModeledTimeline) {
+  DistributedReport clean = RunWithFailures(0.0, 7);
+  DistributedReport faulty = RunWithFailures(0.4, 7);
+  // Dead attempts and backoffs push the slowest-shard barrier out.
+  EXPECT_GT(faulty.backoff_seconds, 0.0);
+  EXPECT_GT(faulty.compute_seconds, clean.compute_seconds);
+}
+
+TEST(NodeFailureTest, BackoffAndDeathSpansAppearInModeledTimeline) {
+  obs::SpanRecorder spans;
+  obs::MetricsRegistry metrics;
+  DistributedReport report =
+      RunWithFailures(0.4, 7, nullptr, &spans, &metrics);
+  ASSERT_GT(report.node_failures, 0u);
+
+  size_t died_spans = 0, backoff_spans = 0;
+  json::Value trace = spans.ToJson();
+  const json::Value* events = trace.as_object().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  for (const json::Value& e : events->as_array()) {
+    const std::string& name = e.as_object().Find("name")->as_string();
+    if (name.find(":died") != std::string::npos) {
+      ++died_spans;
+      EXPECT_GT(e.as_object().Find("dur")->as_int(), 0);
+    }
+    if (name.rfind("backoff", 0) == 0) {
+      ++backoff_spans;
+      EXPECT_GT(e.as_object().Find("dur")->as_int(), 0);
+    }
+  }
+  EXPECT_EQ(died_spans, report.node_failures);
+  EXPECT_EQ(backoff_spans, report.retries);
+
+  EXPECT_EQ(metrics.FindCounter("dist.node_failures")->value(),
+            report.node_failures);
+  EXPECT_EQ(metrics.FindCounter("dist.retries")->value(), report.retries);
+  EXPECT_DOUBLE_EQ(metrics.FindGauge("dist.backoff_seconds")->value(),
+                   report.backoff_seconds);
+}
+
+TEST(NodeFailureTest, ReportRendersFailureLine) {
+  DistributedReport report = RunWithFailures(0.4, 7);
+  ASSERT_GT(report.node_failures, 0u);
+  std::string s = report.ToString();
+  EXPECT_NE(s.find("node_failures="), std::string::npos) << s;
+  EXPECT_NE(s.find("exactly once"), std::string::npos) << s;
+}
+
+TEST(NodeFailureTest, ExhaustedRetriesAbortTheRun) {
+  DistributedExecutor::Options options;
+  options.backend = Backend::kRay;
+  options.cluster.num_nodes = 2;
+  options.cluster.node_failure_probability = 1.0;  // every attempt dies
+  options.cluster.max_retries_per_shard = 2;
+  DistributedExecutor executor(options);
+  auto ops = Pipeline();
+  auto result = executor.Run(Corpus(), ops, nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("failed after"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(NodeFailureTest, SingleNodeBackendIgnoresFailureModel) {
+  DistributedExecutor::Options options;
+  options.backend = Backend::kSingleNode;
+  options.cluster.node_failure_probability = 1.0;
+  DistributedExecutor executor(options);
+  auto ops = Pipeline();
+  DistributedReport report;
+  ASSERT_TRUE(executor.Run(Corpus(), ops, &report).ok());
+  EXPECT_EQ(report.node_failures, 0u);
+}
+
 }  // namespace
 }  // namespace dj::dist

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "compress/djlz.h"
 #include "data/dataset.h"
 #include "data/io.h"
+#include "fault/fault.h"
 #include "json/value.h"
 
 namespace dj::data {
@@ -287,10 +289,11 @@ TEST(DjlzBlockParallelTest, DetectsCorruptionInAnyBlock) {
       EXPECT_EQ(r.value(), input) << "flip at " << i;
     }
   }
-  // Payload flips specifically must be caught by the per-block checksums.
-  std::string bad = frame;
-  bad[frame.size() - 2] = static_cast<char>(bad[frame.size() - 2] ^ 0x10);
-  EXPECT_FALSE(compress::DecompressFrame(bad).ok());
+  // Payload flips specifically must be caught by the per-block checksums;
+  // the compress.frame.corrupt fail point injects exactly that flip.
+  fault::ScopedFaults faults("compress.frame.corrupt=always");
+  ASSERT_TRUE(faults.status().ok());
+  EXPECT_FALSE(compress::DecompressFrame(frame).ok());
 }
 
 TEST(DjlzBlockParallelTest, V1SingleBlockFrameStillDecompresses) {
@@ -327,6 +330,92 @@ TEST(DjlzBlockParallelTest, RejectsFrameWithBogusBlockCount) {
   put_u64(100);                    // raw_size
   put_u64(0xFFFFFFFFFFFFFFFFull);  // absurd num_blocks
   EXPECT_FALSE(compress::DecompressFrame(frame).ok());
+}
+
+// ------------------------------------------------------ fault injection --
+
+// Corruption scenarios driven by the src/fault fail points instead of
+// hand-rolled byte surgery: a torn shard tail on write, a flipped byte on
+// read, and hard I/O errors.
+
+std::string FaultTempFile(const std::string& name) {
+  return ::testing::TempDir() + "/dj_io_fault_" + name;
+}
+
+TEST(FaultInjectionTest, TornShardTailWriteIsDetectedOnRead) {
+  Rng rng(47);
+  Dataset ds = RandomDataset(&rng, 400, 3);
+  std::string path = FaultTempFile("torn.djds");
+  {
+    // io.write.short truncates to 2/3 and still reports success — exactly
+    // how a torn write looks to the writer. Only the read path can catch it.
+    fault::ScopedFaults faults("io.write.short=always");
+    ASSERT_TRUE(faults.status().ok());
+    ASSERT_TRUE(WriteFile(path, SerializeDataset(ds, nullptr, 4)).ok());
+  }
+  auto torn = ReadFile(path);
+  ASSERT_TRUE(torn.ok());
+  EXPECT_FALSE(DeserializeDataset(torn.value()).ok())
+      << "torn shard tail decoded successfully";
+}
+
+TEST(FaultInjectionTest, FlippedByteOnReadIsDetected) {
+  Rng rng(53);
+  Dataset ds = RandomDataset(&rng, 400, 3);
+  std::string path = FaultTempFile("flipped.djds");
+  ASSERT_TRUE(WriteFile(path, SerializeDataset(ds, nullptr, 4)).ok());
+  fault::ScopedFaults faults("io.read.corrupt=always");
+  ASSERT_TRUE(faults.status().ok());
+  // The point flips a mid-file byte — shard payload territory, which the
+  // per-shard checksums must catch.
+  auto corrupted = ReadFile(path);
+  ASSERT_TRUE(corrupted.ok());
+  EXPECT_FALSE(DeserializeDataset(corrupted.value()).ok())
+      << "flipped byte decoded successfully";
+}
+
+TEST(FaultInjectionTest, HardIoErrorsSurfaceAsStatus) {
+  std::string path = FaultTempFile("hard.bin");
+  {
+    fault::ScopedFaults faults("io.write.fail=always");
+    ASSERT_TRUE(faults.status().ok());
+    Status s = WriteFile(path, "payload");
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kIoError);
+  }
+  ASSERT_TRUE(WriteFile(path, "payload").ok());
+  {
+    fault::ScopedFaults faults("io.read.fail=always");
+    ASSERT_TRUE(faults.status().ok());
+    ASSERT_FALSE(ReadFile(path).ok());
+  }
+  // With the registry reset, the same file reads back fine.
+  auto back = ReadFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), "payload");
+}
+
+TEST(FaultInjectionTest, ProbabilisticTornWritesAreSeedDeterministic) {
+  Rng rng(59);
+  Dataset ds = RandomDataset(&rng, 50, 2);
+  std::string blob = SerializeDataset(ds);
+  auto torn_mask = [&](uint64_t seed) {
+    fault::ScopedFaults faults("seed=" + std::to_string(seed) +
+                               ";io.write.short=p0.5");
+    EXPECT_TRUE(faults.status().ok());
+    std::vector<bool> out;
+    for (int i = 0; i < 32; ++i) {
+      std::string path = FaultTempFile("p" + std::to_string(i));
+      EXPECT_TRUE(WriteFile(path, blob).ok());
+      auto back = ReadFile(path);
+      EXPECT_TRUE(back.ok());
+      out.push_back(back.value().size() != blob.size());
+    }
+    return out;
+  };
+  std::vector<bool> run1 = torn_mask(77);
+  EXPECT_EQ(run1, torn_mask(77));
+  EXPECT_NE(std::count(run1.begin(), run1.end(), true), 0);
 }
 
 // --------------------------------------------------- container pipeline --

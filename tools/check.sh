@@ -93,18 +93,51 @@ EOF
 cmp "${smoke_dir}/out.jsonl" "${smoke_dir}/roundtrip.jsonl"
 echo "round-trip byte-identical"
 
-echo "== TSan pass (core/dist/obs + parallel I/O tests) =="
+echo "== fault-matrix smoke (crash at an OP boundary, resume, compare) =="
+# Three seeds: each run is killed at the second OP boundary via the
+# DJ_FAULTS env var, must leave an inspectable trace with a fault instant,
+# and after a --resume run must produce output byte-identical to the
+# uninterrupted export from the trace smoke-gate above.
+for seed in 1 2 3; do
+  ckpt_dir="${smoke_dir}/ckpt_seed${seed}"
+  if DJ_FAULTS="seed=${seed};exec.op_abort=n2" "${build_dir}/tools/dj_process" \
+    --recipe "${repo_dir}/configs/recipes/minimal_dedup.yaml" \
+    --input "${smoke_dir}/in.jsonl" \
+    --output "${smoke_dir}/fault_seed${seed}.jsonl" \
+    --checkpoint-dir "${ckpt_dir}" \
+    --trace-out "${smoke_dir}/fault_trace${seed}.json" \
+    --metrics-out "${smoke_dir}/fault_metrics${seed}.json"; then
+    echo "check.sh: seed ${seed} fault run was expected to crash" >&2
+    exit 1
+  fi
+  "${build_dir}/tools/dj_trace_check" --require-fault-instants \
+    "${smoke_dir}/fault_trace${seed}.json" "${smoke_dir}/fault_metrics${seed}.json"
+  "${build_dir}/tools/dj_process" \
+    --recipe "${repo_dir}/configs/recipes/minimal_dedup.yaml" \
+    --input "${smoke_dir}/in.jsonl" \
+    --output "${smoke_dir}/fault_seed${seed}.jsonl" \
+    --checkpoint-dir "${ckpt_dir}" \
+    --resume
+  cmp "${smoke_dir}/out.jsonl" "${smoke_dir}/fault_seed${seed}.jsonl"
+done
+echo "crash+resume byte-identical for all seeds"
+
+echo "== TSan pass (core/dist/obs + parallel I/O + fault tests) =="
 tsan_dir="${build_dir}-tsan"
 cmake -B "${tsan_dir}" -S "${repo_dir}" \
   -DCMAKE_BUILD_TYPE=Debug \
   -DDJ_SANITIZE=thread
 cmake --build "${tsan_dir}" -j --target \
-  core_test dist_test obs_test data_test io_parallel_test compress_test
+  core_test dist_test obs_test data_test io_parallel_test compress_test \
+  fault_test
 "${tsan_dir}/tests/core_test"
 "${tsan_dir}/tests/dist_test"
 "${tsan_dir}/tests/obs_test"
 "${tsan_dir}/tests/data_test"
 "${tsan_dir}/tests/io_parallel_test"
 "${tsan_dir}/tests/compress_test"
+# The full crash matrix is slow under TSan; run the registry/determinism/
+# checkpoint suites plus one representative recipe matrix.
+"${tsan_dir}/tests/fault_test" --gtest_filter="FaultRegistryTest.*:FaultDeterminismTest.*:FaultObsTest.*:AllCrashWindows/*:CheckpointCorruptionTest.*:*CrashMatrixTest*minimal_dedup*"
 
 echo "check.sh: all green"

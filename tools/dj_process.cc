@@ -6,10 +6,19 @@
 //   dj_process --recipe recipe.yaml [--input in.jsonl] [--output out.jsonl]
 //              [--np N] [--fusion] [--trace] [--cache-dir DIR] [--no-verify]
 //              [--trace-out trace.json] [--metrics-out metrics.json]
+//              [--checkpoint-dir DIR] [--resume] [--faults SPEC]
 //
 // --input/--output override the recipe's dataset_path/export_path.
 // The recipe is linted before any data is touched; lint errors abort the
 // run unless --no-verify is given.
+//
+// --checkpoint-dir enables per-OP checkpointing; --resume (requires
+// --checkpoint-dir) continues from the latest valid checkpoint whose
+// pipeline key matches the optimized plan, re-running only the suffix.
+// --faults arms fail points (same syntax as the DJ_FAULTS env var, e.g.
+// "seed=7;exec.op_abort=n2;io.write.short=p0.1"); the env var is applied
+// first, then the flag. On a faulted (failed) run the trace/metrics files
+// are still written so the fault instants can be inspected.
 //
 // --trace-out writes a Chrome trace-event JSON (open in chrome://tracing or
 // https://ui.perfetto.dev) with per-OP spans and interleaved RSS/CPU
@@ -28,6 +37,7 @@
 #include "core/executor.h"
 #include "core/tracer.h"
 #include "data/io.h"
+#include "fault/fault.h"
 #include "lint/linter.h"
 #include "obs/metrics.h"
 #include "obs/run_journal.h"
@@ -48,6 +58,9 @@ struct Args {
   std::string cache_dir;
   std::string trace_out;
   std::string metrics_out;
+  std::string checkpoint_dir;
+  bool resume = false;
+  std::string faults;
 };
 
 int Usage(const char* argv0) {
@@ -55,7 +68,8 @@ int Usage(const char* argv0) {
                "usage: %s --recipe recipe.yaml [--input in.jsonl] "
                "[--output out.jsonl] [--np N] [--fusion] [--trace] "
                "[--cache-dir DIR] [--no-verify] [--trace-out trace.json] "
-               "[--metrics-out metrics.json]\n",
+               "[--metrics-out metrics.json] [--checkpoint-dir DIR] "
+               "[--resume] [--faults SPEC]\n",
                argv0);
   return 2;
 }
@@ -100,6 +114,16 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->metrics_out = v;
+    } else if (flag == "--checkpoint-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->checkpoint_dir = v;
+    } else if (flag == "--resume") {
+      args->resume = true;
+    } else if (flag == "--faults") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->faults = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -113,6 +137,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
 int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+  if (args.resume && args.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    return 2;
+  }
 
   auto recipe = dj::core::Recipe::FromFile(args.recipe_path);
   if (!recipe.ok()) {
@@ -171,6 +199,22 @@ int main(int argc, char** argv) {
     monitor.Start();
   }
 
+  // Fail-point activation: env var first, then the flag (so a flag can
+  // override or extend DJ_FAULTS). Armed before the dataset loads so io.*
+  // points fire on the load path too.
+  if (auto s = dj::fault::FaultRegistry::Global().ConfigureFromEnv();
+      !s.ok()) {
+    std::fprintf(stderr, "DJ_FAULTS error: %s\n", s.ToString().c_str());
+    return 2;
+  }
+  if (!args.faults.empty()) {
+    if (auto s = dj::fault::FaultRegistry::Global().Configure(args.faults);
+        !s.ok()) {
+      std::fprintf(stderr, "--faults error: %s\n", s.ToString().c_str());
+      return 2;
+    }
+  }
+
   // Dedicated I/O pool for load/export; the executor spins up its own
   // worker pool for the OP loop from the same num_workers setting.
   std::optional<dj::ThreadPool> io_pool;
@@ -204,34 +248,23 @@ int main(int argc, char** argv) {
     options.metrics = &metrics;
     options.spans = &spans;
   }
+  if (!args.checkpoint_dir.empty()) {
+    options.use_checkpoint = true;
+    options.checkpoint_dir = args.checkpoint_dir;
+    if (!args.resume) {
+      // A fresh checkpointed run must not silently continue from an older
+      // run's state; that is what --resume is for.
+      dj::core::CheckpointManager(args.checkpoint_dir).Clear();
+    }
+  }
 
   dj::core::Executor executor(options);
   dj::core::RunReport report;
-  auto refined =
-      executor.Run(std::move(dataset).value(), ops.value(), &report);
-  if (!refined.ok()) {
-    std::fprintf(stderr, "run error: %s\n",
-                 refined.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("%s", report.ToString().c_str());
-  if (args.trace) std::printf("\n%s", tracer.Summary().c_str());
 
-  // Export before the journal flush so the exporter's io.* spans (parse,
-  // serialize, compress) land in the trace file.
-  if (!recipe.value().export_path.empty()) {
-    if (auto s = dj::data::ExportDataset(refined.value(),
-                                         recipe.value().export_path,
-                                         io_pool_ptr);
-        !s.ok()) {
-      std::fprintf(stderr, "export error: %s\n", s.ToString().c_str());
-      return 1;
-    }
-    std::printf("exported %zu samples to %s\n", refined.value().NumRows(),
-                recipe.value().export_path.c_str());
-  }
-
-  if (observe) {
+  // On a failed (possibly fault-injected) run the observability files are
+  // still written — the whole point of a crash trace is inspecting it.
+  auto flush_obs = [&](bool run_failed) {
+    if (!observe) return 0;
     dj::obs::InstallGlobalRecorder(nullptr);
     dj::obs::InstallGlobalMetrics(nullptr);
     dj::ResourceReport resources = monitor.Stop();
@@ -264,17 +297,51 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "trace-out error: %s\n", s.ToString().c_str());
         return 1;
       }
-      std::printf("wrote trace (%zu events) to %s\n", spans.EventCount(),
-                  args.trace_out.c_str());
+      std::printf("wrote trace (%zu events) to %s%s\n", spans.EventCount(),
+                  args.trace_out.c_str(),
+                  run_failed ? " (failed run)" : "");
     }
     if (!args.metrics_out.empty()) {
       if (auto s = journal.WriteMetrics(args.metrics_out); !s.ok()) {
         std::fprintf(stderr, "metrics-out error: %s\n", s.ToString().c_str());
         return 1;
       }
-      std::printf("wrote metrics to %s\n", args.metrics_out.c_str());
+      std::printf("wrote metrics to %s%s\n", args.metrics_out.c_str(),
+                  run_failed ? " (failed run)" : "");
     }
+    return 0;
+  };
+
+  auto refined =
+      executor.Run(std::move(dataset).value(), ops.value(), &report);
+  if (!refined.ok()) {
+    std::fprintf(stderr, "run error: %s\n",
+                 refined.status().ToString().c_str());
+    flush_obs(/*run_failed=*/true);
+    return 1;
+  }
+  if (args.resume) {
+    std::printf(report.resumed_from_checkpoint
+                    ? "resumed from checkpoint in %s\n"
+                    : "no usable checkpoint in %s; ran from scratch\n",
+                args.checkpoint_dir.c_str());
+  }
+  std::printf("%s", report.ToString().c_str());
+  if (args.trace) std::printf("\n%s", tracer.Summary().c_str());
+
+  // Export before the journal flush so the exporter's io.* spans (parse,
+  // serialize, compress) land in the trace file.
+  if (!recipe.value().export_path.empty()) {
+    if (auto s = dj::data::ExportDataset(refined.value(),
+                                         recipe.value().export_path,
+                                         io_pool_ptr);
+        !s.ok()) {
+      std::fprintf(stderr, "export error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("exported %zu samples to %s\n", refined.value().NumRows(),
+                recipe.value().export_path.c_str());
   }
 
-  return 0;
+  return flush_obs(/*run_failed=*/false);
 }

@@ -4,10 +4,14 @@
 // the keys downstream consumers (Perfetto, BENCH trajectory tooling) rely
 // on.
 //
-// Usage: dj_trace_check [--require-io-spans] trace.json metrics.json
+// Usage: dj_trace_check [--require-io-spans] [--require-fault-instants]
+//                       trace.json metrics.json
 // Exits 0 when both are valid; prints the first violation and exits 1
 // otherwise. With --require-io-spans, the trace must also carry at least
 // one "io.*" span (parse/serialize/compress from the parallel data plane).
+// With --require-fault-instants, the trace must carry at least one
+// "fault:<name>" instant event — i.e., a fail point actually fired during
+// the run (used by the fault-matrix smoke stage of tools/check.sh).
 
 #include <cstdio>
 #include <string>
@@ -25,7 +29,8 @@ bool Fail(const char* file, const std::string& why) {
   return false;
 }
 
-bool CheckTrace(const char* path, bool require_io_spans) {
+bool CheckTrace(const char* path, bool require_io_spans,
+                bool require_fault_instants) {
   auto content = dj::data::ReadFile(path);
   if (!content.ok()) return Fail(path, content.status().ToString());
   auto parsed = dj::json::ParseStrict(content.value());
@@ -39,6 +44,7 @@ bool CheckTrace(const char* path, bool require_io_spans) {
   if (events->as_array().empty()) return Fail(path, "traceEvents is empty");
   size_t complete_events = 0;
   size_t io_spans = 0;
+  size_t fault_instants = 0;
   for (const Value& e : events->as_array()) {
     if (!e.is_object()) return Fail(path, "event is not an object");
     for (const char* key : {"name", "ph", "ts", "pid", "tid"}) {
@@ -54,6 +60,9 @@ bool CheckTrace(const char* path, bool require_io_spans) {
       ++complete_events;
       const std::string& name = e.as_object().Find("name")->as_string();
       if (name.rfind("io.", 0) == 0) ++io_spans;
+    } else if (ph == "i") {
+      const std::string& name = e.as_object().Find("name")->as_string();
+      if (name.rfind("fault:", 0) == 0) ++fault_instants;
     }
   }
   if (complete_events == 0) {
@@ -63,8 +72,15 @@ bool CheckTrace(const char* path, bool require_io_spans) {
     return Fail(path,
                 "no 'io.*' spans — the data-plane codecs were not traced");
   }
-  std::printf("dj_trace_check: %s ok (%zu events, %zu spans, %zu io spans)\n",
-              path, events->as_array().size(), complete_events, io_spans);
+  if (require_fault_instants && fault_instants == 0) {
+    return Fail(path,
+                "no 'fault:*' instants — no fail point fired during the run");
+  }
+  std::printf(
+      "dj_trace_check: %s ok (%zu events, %zu spans, %zu io spans, "
+      "%zu fault instants)\n",
+      path, events->as_array().size(), complete_events, io_spans,
+      fault_instants);
   return true;
 }
 
@@ -110,18 +126,28 @@ bool CheckMetrics(const char* path) {
 
 int main(int argc, char** argv) {
   bool require_io_spans = false;
+  bool require_fault_instants = false;
   int arg = 1;
-  if (arg < argc && std::string(argv[arg]) == "--require-io-spans") {
-    require_io_spans = true;
-    ++arg;
+  while (arg < argc) {
+    std::string flag = argv[arg];
+    if (flag == "--require-io-spans") {
+      require_io_spans = true;
+      ++arg;
+    } else if (flag == "--require-fault-instants") {
+      require_fault_instants = true;
+      ++arg;
+    } else {
+      break;
+    }
   }
   if (argc - arg != 2) {
     std::fprintf(stderr,
-                 "usage: %s [--require-io-spans] trace.json metrics.json\n",
+                 "usage: %s [--require-io-spans] [--require-fault-instants] "
+                 "trace.json metrics.json\n",
                  argv[0]);
     return 2;
   }
-  bool ok = CheckTrace(argv[arg], require_io_spans);
+  bool ok = CheckTrace(argv[arg], require_io_spans, require_fault_instants);
   ok = CheckMetrics(argv[arg + 1]) && ok;
   return ok ? 0 : 1;
 }
