@@ -5,6 +5,7 @@
 #include <mutex>
 #include <optional>
 
+#include "common/mutex.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "data/dataset.h"
@@ -76,13 +77,13 @@ Result<std::vector<data::Sample>> NaivePipeline::Run(
     } else {
       // Eager stage copy: a fresh output list per OP.
       std::vector<data::Sample> next(samples);  // the per-stage copy
-      std::mutex error_mutex;
+      Mutex error_mutex{"NaivePipeline.first_error"};
       Status first_error;
       auto run_range = [&](size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {
           Status s = ApplyRowOp(op.get(), &next[i]);
           if (!s.ok()) {
-            std::lock_guard<std::mutex> lock(error_mutex);
+            MutexLock lock(&error_mutex);
             if (first_error.ok()) first_error = std::move(s);
             return;
           }

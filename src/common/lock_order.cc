@@ -1,0 +1,297 @@
+#include "common/lock_order.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace dj {
+namespace {
+
+struct HeldLock {
+  const void* mutex;
+  const char* name;
+};
+
+struct SeenEdge {
+  std::string from;
+  std::string to;
+};
+
+/// The calling thread's held dj::Mutexes, oldest first. Purely
+/// thread-local, so the steady-state probe never synchronizes with other
+/// threads (which would both slow tests down and feed TSan happens-before
+/// edges that hide real races).
+thread_local std::vector<HeldLock> t_held;
+
+/// Edges this thread already pushed into the global graph; only a cache
+/// miss takes the registry lock. Invalidated by generation bump on Reset().
+thread_local std::vector<SeenEdge> t_seen;
+thread_local uint64_t t_seen_generation = 0;
+
+/// Re-entrancy guard: reporting an inversion logs (which takes the logging
+/// dj::Mutex) and runs the metrics callback (which takes the metrics
+/// registry's dj::Mutex). Those nested acquisitions must not re-enter the
+/// tracker or recurse forever.
+thread_local bool t_in_hook = false;
+
+struct HookGuard {
+  HookGuard() { t_in_hook = true; }
+  ~HookGuard() { t_in_hook = false; }
+};
+
+std::string ThisThreadId() {
+  std::ostringstream out;
+  out << std::this_thread::get_id();
+  return out.str();
+}
+
+/// "thread 139.. acquiring 'B' while holding [A]".
+std::string DescribeAcquisition(const char* acquiring) {
+  std::ostringstream out;
+  out << "thread " << ThisThreadId() << " acquiring '" << acquiring
+      << "' while holding [";
+  for (size_t i = 0; i < t_held.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << t_held[i].name;
+  }
+  out << "]";
+  return out.str();
+}
+
+bool SeenContains(std::string_view from, std::string_view to) {
+  for (const SeenEdge& e : t_seen) {
+    if (e.from == from && e.to == to) return true;
+  }
+  return false;
+}
+
+constexpr size_t kMaxKeptInversions = 64;
+
+}  // namespace
+
+std::string LockOrderRegistry::Inversion::ToString() const {
+  std::ostringstream out;
+  out << "potential deadlock (lock-order inversion): cycle ";
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    if (i > 0) out << " -> ";
+    out << "'" << cycle[i] << "'";
+  }
+  out << "\n  previously recorded order:\n    " << first_stack
+      << "\n  conflicting acquisition:\n    " << second_stack;
+  return out.str();
+}
+
+LockOrderRegistry& LockOrderRegistry::Global() {
+  static LockOrderRegistry* registry = new LockOrderRegistry();
+  return *registry;
+}
+
+bool LockOrderRegistry::ParseMode(std::string_view text, Mode* out) {
+  if (text == "off") {
+    *out = Mode::kOff;
+  } else if (text == "on") {
+    *out = Mode::kOn;
+  } else if (text == "fatal") {
+    *out = Mode::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+LockOrderRegistry::Mode LockOrderRegistry::InitFromEnv() {
+#ifdef NDEBUG
+  Mode mode = Mode::kOff;
+#else
+  Mode mode = Mode::kOn;
+#endif
+  if (const char* env = std::getenv("DJ_LOCK_ORDER");
+      env != nullptr && env[0] != '\0') {
+    if (!ParseMode(env, &mode)) {
+      std::fprintf(stderr,
+                   "DJ_LOCK_ORDER: unknown mode '%s' "
+                   "(expected off, on, or fatal)\n",
+                   env);
+    }
+  }
+  int8_t expected = -1;
+  // Losing the race to SetMode keeps the explicit setting.
+  state_.compare_exchange_strong(expected, static_cast<int8_t>(mode),
+                                 std::memory_order_relaxed);
+  return static_cast<Mode>(state_.load(std::memory_order_relaxed));
+}
+
+void LockOrderRegistry::SetMode(Mode mode) {
+  state_.store(static_cast<int8_t>(mode), std::memory_order_relaxed);
+}
+
+void LockOrderRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  edges_.clear();
+  inversions_.clear();
+  inversion_count_ = 0;
+  generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t LockOrderRegistry::InversionCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inversion_count_;
+}
+
+std::vector<LockOrderRegistry::Inversion> LockOrderRegistry::Inversions()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inversions_;
+}
+
+std::function<void(const LockOrderRegistry::Inversion&)>
+LockOrderRegistry::SetOnInversion(
+    std::function<void(const Inversion&)> on_inversion) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::function<void(const Inversion&)> previous = std::move(on_inversion_);
+  on_inversion_ = std::move(on_inversion);
+  return previous;
+}
+
+std::vector<std::string> LockOrderRegistry::HeldByThisThread() const {
+  std::vector<std::string> out;
+  out.reserve(t_held.size());
+  for (const HeldLock& h : t_held) out.emplace_back(h.name);
+  return out;
+}
+
+/// Depth-first search for a directed path `from` ->* `to` in edges_.
+/// Caller holds mutex_.
+bool LockOrderRegistry::FindPath(const std::string& from,
+                                 const std::string& to,
+                                 std::vector<std::string>* path) const {
+  path->push_back(from);
+  if (from == to) return true;
+  auto it = edges_.find(from);
+  if (it != edges_.end()) {
+    for (const auto& [next, edge] : it->second) {
+      // The path is also the visited set: lock graphs are tiny, and a node
+      // already on the path cannot lead to `to` without a cycle we would
+      // have reported earlier.
+      bool on_path = false;
+      for (const std::string& seen : *path) {
+        if (seen == next) {
+          on_path = true;
+          break;
+        }
+      }
+      if (on_path) continue;
+      if (FindPath(next, to, path)) return true;
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+void LockOrderRegistry::OnAcquire(const void* mutex, const char* name) {
+  if (t_in_hook) return;
+  Mode current_mode = mode();
+  if (current_mode == Mode::kOff) return;
+  HookGuard guard;
+
+  uint64_t generation = generation_.load(std::memory_order_relaxed);
+  if (t_seen_generation != generation) {
+    t_seen.clear();
+    t_seen_generation = generation;
+  }
+
+  std::vector<Inversion> found;
+  std::function<void(const Inversion&)> on_inversion;
+  for (const HeldLock& held : t_held) {
+    std::string_view from_view(held.name);
+    std::string_view to_view(name);
+    // Same-name acquisitions (two instances of one lock class, e.g. the
+    // per-thread span buffers) would be a self-edge; ordering within a
+    // class is the owning structure's business, not the graph's.
+    if (from_view == to_view) continue;
+    if (SeenContains(from_view, to_view)) continue;
+    std::string from(from_view);
+    std::string to(to_view);
+    t_seen.push_back({from, to});
+
+    std::string stack = DescribeAcquisition(name);
+    std::lock_guard<std::mutex> lock(mutex_);
+    Edge& edge = edges_[from][to];
+    ++edge.count;
+    if (edge.count > 1) continue;  // another thread recorded it first
+    edge.stack = stack;
+    // A new edge from->to closes a cycle iff `to` could already reach
+    // `from`; that pre-existing path is the conflicting order.
+    std::vector<std::string> path;
+    if (!FindPath(to, from, &path)) continue;
+    Inversion inversion;
+    inversion.cycle.push_back(from);
+    inversion.cycle.insert(inversion.cycle.end(), path.begin(), path.end());
+    std::ostringstream first;
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      if (i > 0) first << "\n    ";
+      const Edge& opposing = edges_.at(path[i]).at(path[i + 1]);
+      first << "'" << path[i] << "' -> '" << path[i + 1]
+            << "': " << opposing.stack;
+    }
+    inversion.first_stack = first.str();
+    inversion.second_stack =
+        "'" + from + "' -> '" + to + "': " + stack;
+    ++inversion_count_;
+    inversions_.push_back(inversion);
+    if (inversions_.size() > kMaxKeptInversions) {
+      inversions_.erase(inversions_.begin());
+    }
+    on_inversion = on_inversion_;
+    found.push_back(std::move(inversion));
+  }
+  t_held.push_back({mutex, name});
+
+  // Reporting happens with no registry lock held; the t_in_hook guard keeps
+  // the logger's and the metric sink's own dj::Mutexes out of the graph.
+  for (const Inversion& inversion : found) {
+    DJ_LOG(Error) << inversion.ToString();
+    if (on_inversion) on_inversion(inversion);
+    if (current_mode == Mode::kFatal) {
+      std::fprintf(stderr, "%s\nDJ_LOCK_ORDER=fatal: aborting\n",
+                   inversion.ToString().c_str());
+      std::abort();
+    }
+  }
+}
+
+void LockOrderRegistry::OnRelease(const void* mutex, const char* name) {
+  (void)name;
+  if (t_in_hook || t_held.empty()) return;
+  // Locks are usually released LIFO, but guard objects may be destroyed in
+  // any order; search from the top.
+  for (size_t i = t_held.size(); i > 0; --i) {
+    if (t_held[i - 1].mutex == mutex) {
+      t_held.erase(t_held.begin() + static_cast<ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+}
+
+ScopedLockOrderCapture::ScopedLockOrderCapture() {
+  LockOrderRegistry& registry = LockOrderRegistry::Global();
+  saved_mode_ = registry.mode();
+  registry.Reset();
+  registry.SetMode(LockOrderRegistry::Mode::kOn);
+  saved_callback_ = registry.SetOnInversion(
+      [this](const LockOrderRegistry::Inversion& inversion) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        inversions_.push_back(inversion);
+      });
+}
+
+ScopedLockOrderCapture::~ScopedLockOrderCapture() {
+  LockOrderRegistry& registry = LockOrderRegistry::Global();
+  registry.SetOnInversion(std::move(saved_callback_));
+  registry.SetMode(saved_mode_);
+  registry.Reset();
+}
+
+}  // namespace dj

@@ -1,0 +1,152 @@
+#ifndef DJ_COMMON_LOCK_ORDER_H_
+#define DJ_COMMON_LOCK_ORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dj {
+
+/// Dynamic lock-order (deadlock-potential) detection for dj::Mutex, in the
+/// tradition of the Linux kernel's lockdep and absl's deadlock detector:
+/// every acquisition records "the acquiring thread already held locks
+/// H1..Hk" as acquired-before edges Hi -> new in a global graph keyed by
+/// mutex *name* (so every ThreadPool instance shares one node). The first
+/// edge that closes a cycle is reported as a potential deadlock — with the
+/// held-lock stacks of both conflicting acquisitions — even if the unlucky
+/// interleaving that would actually deadlock never fires in this run.
+///
+/// Cost model: the held-lock stack and an already-seen-edge cache are
+/// thread-local, so the steady state (every edge seen before) takes no
+/// shared lock and creates no cross-thread synchronization — important
+/// under TSan, where extra lock traffic would add happens-before edges that
+/// mask real races. Only a genuinely new edge touches the global graph.
+///
+/// Enablement: off unless the DJ_LOCK_ORDER environment variable says
+/// otherwise (`off`, `on`, or `fatal`), except debug builds (NDEBUG unset)
+/// where the default is `on`. `fatal` aborts the process after printing the
+/// report — tools/check.sh runs the test suite that way so a new inversion
+/// fails the build instead of scrolling past.
+class LockOrderRegistry {
+ public:
+  enum class Mode {
+    kOff,    ///< no tracking, probes cost one relaxed atomic load
+    kOn,     ///< track; report inversions (log + callback + counter)
+    kFatal,  ///< track; report, then abort()
+  };
+
+  /// One detected lock-order inversion. `cycle` is the name path
+  /// A -> ... -> A whose last edge was just recorded; the two stacks are
+  /// the held-lock stacks of the conflicting acquisitions: `first_stack`
+  /// for the previously recorded opposing edge, `second_stack` for the
+  /// acquisition that closed the cycle.
+  struct Inversion {
+    std::vector<std::string> cycle;
+    std::string first_stack;
+    std::string second_stack;
+
+    /// Multi-line human-readable report.
+    std::string ToString() const;
+  };
+
+  static LockOrderRegistry& Global();
+
+  LockOrderRegistry() = default;
+  LockOrderRegistry(const LockOrderRegistry&) = delete;
+  LockOrderRegistry& operator=(const LockOrderRegistry&) = delete;
+
+  /// Current mode; first call reads DJ_LOCK_ORDER (see class comment).
+  Mode mode() {
+    int8_t state = state_.load(std::memory_order_relaxed);
+    if (state < 0) return InitFromEnv();
+    return static_cast<Mode>(state);
+  }
+  void SetMode(Mode mode);
+
+  /// Parses "off" / "on" / "fatal" (case-sensitive); false on junk.
+  static bool ParseMode(std::string_view text, Mode* out);
+
+  /// Clears the acquired-before graph, inversion reports, and counters.
+  /// Thread-local seen-edge caches are invalidated via a generation bump.
+  /// Held-lock stacks of live threads are preserved (their locks are still
+  /// held). Mode is unchanged.
+  void Reset();
+
+  uint64_t InversionCount() const;
+
+  /// The most recent inversion reports (bounded; oldest dropped first).
+  std::vector<Inversion> Inversions() const;
+
+  /// Installed by the observability layer: invoked once per inversion,
+  /// after the registry lock is released, so inversions surface as a
+  /// "lockorder.inversions" metric. Pass nullptr to uninstall. Returns the
+  /// previously installed callback so scoped users can restore it.
+  std::function<void(const Inversion&)> SetOnInversion(
+      std::function<void(const Inversion&)> on_inversion);
+
+  // Probes, called by dj::Mutex. OnAcquire runs after the underlying lock
+  // is taken; OnRelease just before/after it is dropped (order does not
+  // matter — the stack is thread-local).
+  void OnAcquire(const void* mutex, const char* name);
+  void OnRelease(const void* mutex, const char* name);
+
+  /// Names of locks the calling thread currently holds, oldest first
+  /// (observability/testing aid). Tracked only while the mode is not kOff —
+  /// in kOff the probes return before touching the thread-local stack.
+  std::vector<std::string> HeldByThisThread() const;
+
+ private:
+  struct Edge {
+    std::string stack;    ///< held-lock stack at first recording
+    uint64_t count = 0;   ///< recordings (across rediscoveries)
+  };
+
+  Mode InitFromEnv();
+  bool FindPath(const std::string& from, const std::string& to,
+                std::vector<std::string>* path) const;
+
+  // Plain std::mutex on purpose: dj::Mutex calls back into this registry.
+  mutable std::mutex mutex_;
+  /// acquired-before graph: edges_[a][b] means "a was held while b was
+  /// acquired".
+  std::map<std::string, std::map<std::string, Edge>> edges_;
+  std::vector<Inversion> inversions_;
+  uint64_t inversion_count_ = 0;
+  std::function<void(const Inversion&)> on_inversion_;
+  std::atomic<uint64_t> generation_{1};
+  /// -1 = DJ_LOCK_ORDER not read yet, else a Mode value.
+  std::atomic<int8_t> state_{-1};
+};
+
+/// RAII for tests: forces mode kOn, captures inversion reports into a local
+/// vector (suppressing kFatal aborts and replacing any installed callback),
+/// and restores the previous mode/callback + clears the graph on exit. Not
+/// safe to nest or to use from concurrent tests in one process.
+class ScopedLockOrderCapture {
+ public:
+  ScopedLockOrderCapture();
+  ~ScopedLockOrderCapture();
+  ScopedLockOrderCapture(const ScopedLockOrderCapture&) = delete;
+  ScopedLockOrderCapture& operator=(const ScopedLockOrderCapture&) = delete;
+
+  /// Reports captured so far (copy: the callback may fire from any thread).
+  std::vector<LockOrderRegistry::Inversion> inversions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inversions_;
+  }
+
+ private:
+  LockOrderRegistry::Mode saved_mode_;
+  std::function<void(const LockOrderRegistry::Inversion&)> saved_callback_;
+  mutable std::mutex mutex_;  ///< guards inversions_ (std::mutex: see class)
+  std::vector<LockOrderRegistry::Inversion> inversions_;
+};
+
+}  // namespace dj
+
+#endif  // DJ_COMMON_LOCK_ORDER_H_

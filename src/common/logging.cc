@@ -6,7 +6,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace dj {
 namespace {
@@ -14,7 +15,7 @@ namespace {
 // -1 = not yet initialized; first use reads DJ_LOG_LEVEL. A sentinel (rather
 // than eager init) keeps the logger usable from static constructors.
 std::atomic<int> g_min_level{-1};
-std::mutex g_log_mutex;
+Mutex g_log_mutex{"logging.stderr"};
 
 int LevelFromEnv() {
   LogLevel level = LogLevel::kInfo;
@@ -111,7 +112,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (static_cast<int>(level_) < MinLevel()) return;
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(&g_log_mutex);
   std::fprintf(stderr, "%s\n", stream_.str().c_str());
 }
 

@@ -40,7 +40,7 @@ uint64_t ResourceMonitor::ReadRssBytesFrom(const char* statm_path) {
 }
 
 std::vector<ResourceSample> ResourceMonitor::Samples() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return samples_;
 }
 
@@ -57,7 +57,7 @@ double ResourceMonitor::CurrentCpuSeconds() {
 void ResourceMonitor::Start() {
   if (running_.exchange(true)) return;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     samples_.clear();
   }
   start_wall_ = NowSeconds();
@@ -75,7 +75,7 @@ ResourceReport ResourceMonitor::Stop() {
   if (report.wall_seconds > 0) {
     report.avg_cpu_utilization = report.cpu_seconds / report.wall_seconds;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (!samples_.empty()) {
     unsigned __int128 total = 0;
     for (const auto& s : samples_) {
@@ -98,7 +98,7 @@ void ResourceMonitor::SampleLoop() {
     s.rss_bytes = CurrentRssBytes();
     s.cpu_seconds = CurrentCpuSeconds() - start_cpu_;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       samples_.push_back(s);
     }
     std::this_thread::sleep_for(

@@ -3,9 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dj {
 
@@ -60,8 +62,10 @@ class ResourceMonitor {
   double interval_seconds_;
   std::atomic<bool> running_{false};
   std::thread sampler_;
-  mutable std::mutex mutex_;
-  std::vector<ResourceSample> samples_;
+  mutable Mutex mutex_{"ResourceMonitor.mutex"};
+  std::vector<ResourceSample> samples_ DJ_GUARDED_BY(mutex_);
+  // Written by Start() before the sampler thread exists and read by it (and
+  // by Stop() after joining it): ordered by thread creation/join, no lock.
   double start_wall_ = 0;
   double start_cpu_ = 0;
 };

@@ -1,0 +1,202 @@
+#include "common/sched_point.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace dj::sched {
+namespace {
+
+/// Re-entrancy guard: a perturbation callback (or the registry's own lazy
+/// env init) may acquire a dj::Mutex, whose Lock() probes a sched point
+/// again. The inner probe must be a no-op or the stack never unwinds.
+thread_local bool t_in_probe = false;
+
+struct ProbeGuard {
+  ProbeGuard() { t_in_probe = true; }
+  ~ProbeGuard() { t_in_probe = false; }
+};
+
+}  // namespace
+
+SchedRegistry& SchedRegistry::Global() {
+  static SchedRegistry* registry = new SchedRegistry();
+  return *registry;
+}
+
+bool SchedRegistry::InitFromEnv() {
+  if (t_in_probe) return false;
+  ProbeGuard guard;
+  // Configure() settles state_; losing a race to an explicit Configure()
+  // call is fine because both paths end in a definite 0/1 state.
+  const char* spec = std::getenv("DJ_SCHED");
+  if (spec == nullptr || spec[0] == '\0') {
+    int8_t expected = -1;
+    state_.compare_exchange_strong(expected, 0, std::memory_order_relaxed);
+    return state_.load(std::memory_order_relaxed) != 0;
+  }
+  Status status = Configure(spec);
+  if (!status.ok()) {
+    std::fprintf(stderr, "DJ_SCHED error: %s\n", status.ToString().c_str());
+    state_.store(0, std::memory_order_relaxed);
+    return false;
+  }
+  return state_.load(std::memory_order_relaxed) != 0;
+}
+
+void SchedRegistry::ReseedPointLocked(const std::string& name, Point* point) {
+  point->rng = Rng(seed_ ^ Fnv1a64(name));
+  point->stats = PointStats{};
+}
+
+Status SchedRegistry::Configure(std::string_view spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Entries apply in order so "seed=..." can precede the knobs it governs.
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find_first_of(";,", begin);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view entry =
+        StripAsciiWhitespace(spec.substr(begin, end - begin));
+    begin = end + 1;
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("sched: bad entry '" +
+                                     std::string(entry) +
+                                     "' (expected key=value)");
+    }
+    std::string_view key = StripAsciiWhitespace(entry.substr(0, eq));
+    std::string value(StripAsciiWhitespace(entry.substr(eq + 1)));
+    char* endp = nullptr;
+    if (key == "seed") {
+      unsigned long long s = std::strtoull(value.c_str(), &endp, 10);
+      if (endp == nullptr || *endp != '\0') {
+        return Status::InvalidArgument("sched: bad seed '" + value + "'");
+      }
+      seed_ = s;
+      for (auto& [name, point] : points_) ReseedPointLocked(name, &point);
+      total_perturbs_ = 0;
+    } else if (key == "p") {
+      double p = std::strtod(value.c_str(), &endp);
+      if (endp == nullptr || *endp != '\0' || p < 0.0 || p > 1.0) {
+        return Status::InvalidArgument("sched: bad probability '" + value +
+                                       "' (need 0 <= p <= 1)");
+      }
+      probability_ = p;
+    } else if (key == "max_us") {
+      unsigned long long us = std::strtoull(value.c_str(), &endp, 10);
+      if (endp == nullptr || *endp != '\0' || us == 0) {
+        return Status::InvalidArgument("sched: bad max_us '" + value +
+                                       "' (need max_us >= 1)");
+      }
+      max_sleep_micros_ = static_cast<uint32_t>(us);
+    } else if (key == "only") {
+      only_ = value;
+    } else {
+      return Status::InvalidArgument(
+          "sched: unknown key '" + std::string(key) +
+          "' (expected seed, p, max_us, or only)");
+    }
+  }
+  state_.store(probability_ > 0.0 ? 1 : 0, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status SchedRegistry::ConfigureFromEnv() {
+  const char* spec = std::getenv("DJ_SCHED");
+  if (spec == nullptr || spec[0] == '\0') return Status::Ok();
+  return Configure(spec);
+}
+
+void SchedRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+  probability_ = 0.0;
+  max_sleep_micros_ = 100;
+  only_.clear();
+  seed_ = kDefaultSeed;
+  total_perturbs_ = 0;
+  state_.store(0, std::memory_order_relaxed);
+}
+
+void SchedRegistry::SetSeed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  seed_ = seed;
+  for (auto& [name, point] : points_) ReseedPointLocked(name, &point);
+  total_perturbs_ = 0;
+}
+
+uint64_t SchedRegistry::seed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seed_;
+}
+
+SchedRegistry::PointStats SchedRegistry::Stats(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(name);
+  if (it == points_.end()) return {};
+  return it->second.stats;
+}
+
+uint64_t SchedRegistry::TotalPerturbs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_perturbs_;
+}
+
+void SchedRegistry::SetOnPerturb(std::function<void()> on_perturb) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  on_perturb_ = std::move(on_perturb);
+}
+
+void SchedRegistry::Perturb(std::string_view name) {
+  if (t_in_probe) return;
+  ProbeGuard guard;
+
+  bool sleep = false;
+  uint32_t sleep_micros = 0;
+  bool hit = false;
+  std::function<void()> on_perturb;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (probability_ <= 0.0) return;
+    if (!only_.empty() && name.find(only_) == std::string_view::npos) return;
+    auto [it, inserted] = points_.try_emplace(std::string(name));
+    Point& point = it->second;
+    if (inserted) ReseedPointLocked(it->first, &point);
+    ++point.stats.hits;
+    // Fixed draw order (perturb?, action, duration) keeps the sequence a
+    // pure function of the seed even though later draws are sometimes
+    // unused decisions.
+    hit = point.rng.Bernoulli(probability_);
+    if (hit) {
+      sleep = point.rng.Bernoulli(0.5);
+      if (sleep) {
+        sleep_micros = static_cast<uint32_t>(
+            1 + point.rng.NextBelow(max_sleep_micros_));
+        ++point.stats.sleeps;
+        point.stats.slept_micros += sleep_micros;
+      } else {
+        ++point.stats.yields;
+      }
+      ++point.stats.perturbs;
+      ++total_perturbs_;
+      on_perturb = on_perturb_;
+    }
+  }
+  if (!hit) return;
+  // The actual perturbation (and the metrics callback) happen outside the
+  // registry lock so probes never serialize the threads they are shaking.
+  if (sleep) {
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_micros));
+  } else {
+    std::this_thread::yield();
+  }
+  if (on_perturb) on_perturb();
+}
+
+}  // namespace dj::sched

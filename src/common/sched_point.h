@@ -1,0 +1,151 @@
+#ifndef DJ_COMMON_SCHED_POINT_H_
+#define DJ_COMMON_SCHED_POINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace dj::sched {
+
+/// Seeded schedule-perturbation probes, the scheduling twin of the
+/// fault-injection layer (src/fault): concurrent code marks its interesting
+/// interleaving points (`DJ_SCHED_POINT("threadpool.dispatch")` at lock
+/// boundaries, task dispatch, ordered-gather joins), and a test harness
+/// arms them with a seed and a perturbation probability. An armed probe
+/// randomly yields the CPU or sleeps a few microseconds, shaking the thread
+/// schedule into interleavings a quiet machine would never produce — which
+/// is exactly what ThreadSanitizer needs to see a racy pair actually
+/// overlap. Unarmed, a probe costs one relaxed atomic load.
+///
+/// Determinism mirrors FaultRegistry: each point draws from its own RNG
+/// seeded from (registry seed, point name) and draws are serialized per
+/// point, so the decision sequence of a point (hit #3 sleeps 40us, hit #4
+/// passes, ...) is a pure function of the seed — independent of thread
+/// interleaving. Which thread absorbs a given perturbation may vary; the
+/// sequence never does.
+class SchedRegistry {
+ public:
+  static SchedRegistry& Global();
+
+  SchedRegistry() = default;
+  SchedRegistry(const SchedRegistry&) = delete;
+  SchedRegistry& operator=(const SchedRegistry&) = delete;
+
+  /// Applies a `DJ_SCHED`-syntax spec: semicolon- or comma-separated
+  /// `key=value` entries:
+  ///   `seed=U`    reseed the registry (put it first, like DJ_FAULTS)
+  ///   `p=F`       perturb each hit with probability F in [0,1]; p=0 disarms
+  ///   `max_us=N`  sleep perturbations last 1..N microseconds (default 100)
+  ///   `only=S`    only perturb points whose name contains substring S
+  /// Example: DJ_SCHED="seed=7;p=0.05;max_us=200"
+  Status Configure(std::string_view spec);
+
+  /// Configure() from the DJ_SCHED environment variable; unset or empty is
+  /// a no-op Ok.
+  Status ConfigureFromEnv();
+
+  /// Disarms all points, zeroes counters, restores the default seed.
+  void Reset();
+
+  /// Reseeds the registry and resets every point's RNG and counters, so a
+  /// seed fully determines the perturbation sequences that follow.
+  void SetSeed(uint64_t seed);
+  uint64_t seed() const;
+
+  /// Per-point observed decisions (for tests and determinism checks).
+  struct PointStats {
+    uint64_t hits = 0;
+    uint64_t perturbs = 0;
+    uint64_t yields = 0;
+    uint64_t sleeps = 0;
+    uint64_t slept_micros = 0;
+
+    bool operator==(const PointStats&) const = default;
+  };
+  PointStats Stats(std::string_view name) const;
+  uint64_t TotalPerturbs() const;
+
+  /// True when perturbation is armed (p > 0). The DJ_SCHED_POINT fast path;
+  /// lazily reads DJ_SCHED on first use so gtest binaries (which never call
+  /// ConfigureFromEnv explicitly) honor the variable too.
+  bool enabled() {
+    int8_t state = state_.load(std::memory_order_relaxed);
+    if (state < 0) return InitFromEnv();
+    return state != 0;
+  }
+
+  /// The probe body: decides deterministically whether this hit perturbs,
+  /// then yields/sleeps outside the registry lock. Re-entrant probes (a
+  /// perturbation callback touching a dj::Mutex) are skipped.
+  void Perturb(std::string_view name);
+
+  /// Installed by the observability layer: invoked once per perturbation
+  /// (outside the registry lock) so perturbations surface as a
+  /// "sched.perturbations" metric. Pass nullptr to uninstall.
+  void SetOnPerturb(std::function<void()> on_perturb);
+
+ private:
+  struct Point {
+    Rng rng;
+    PointStats stats;
+  };
+
+  static constexpr uint64_t kDefaultSeed = 0x5c4ed5c4ed5cULL;
+
+  bool InitFromEnv();
+  /// Caller holds mutex_ (a plain std::mutex, invisible to the analysis).
+  void ReseedPointLocked(const std::string& name, Point* point);
+
+  // The registry deliberately uses std::mutex, not dj::Mutex: dj::Mutex
+  // calls back into this registry on every acquisition.
+  mutable std::mutex mutex_;
+  std::map<std::string, Point, std::less<>> points_;
+  double probability_ = 0.0;
+  uint32_t max_sleep_micros_ = 100;
+  std::string only_;
+  uint64_t seed_ = kDefaultSeed;
+  uint64_t total_perturbs_ = 0;
+  std::function<void()> on_perturb_;
+  /// -1 = DJ_SCHED not read yet, 0 = disarmed, 1 = armed.
+  std::atomic<int8_t> state_{-1};
+};
+
+/// Probe against the global registry with the nothing-armed fast path
+/// inlined.
+inline void MaybePerturb(std::string_view name) {
+  SchedRegistry& registry = SchedRegistry::Global();
+  if (!registry.enabled()) return;
+  registry.Perturb(name);
+}
+
+/// RAII helper for tests: configures the global registry on construction
+/// and Reset()s it on destruction, so armed perturbation never leaks
+/// across tests.
+class ScopedSched {
+ public:
+  explicit ScopedSched(std::string_view spec) {
+    status_ = SchedRegistry::Global().Configure(spec);
+  }
+  ~ScopedSched() { SchedRegistry::Global().Reset(); }
+  ScopedSched(const ScopedSched&) = delete;
+  ScopedSched& operator=(const ScopedSched&) = delete;
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace dj::sched
+
+/// Schedule-perturbation probe macro used at interleaving-sensitive sites:
+///   DJ_SCHED_POINT("io.gather.jsonl_parse");
+#define DJ_SCHED_POINT(name) (::dj::sched::MaybePerturb(name))
+
+#endif  // DJ_COMMON_SCHED_POINT_H_

@@ -1,0 +1,88 @@
+#ifndef DJ_COMMON_THREAD_ANNOTATIONS_H_
+#define DJ_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute macros (DJ_GUARDED_BY and
+/// friends). Under Clang with -Wthread-safety (the DJ_THREAD_SAFETY CMake
+/// option turns the warnings on and makes them errors) the compiler proves
+/// at compile time that every access to an annotated field happens with the
+/// right mutex held; on every other compiler the macros expand to nothing.
+///
+/// The annotations attach to dj::Mutex (common/mutex.h), which carries the
+/// `capability("mutex")` attribute. Conventions are documented in
+/// docs/concurrency.md; the short version:
+///
+///   class Registry {
+///     void Add(Item item) DJ_EXCLUDES(mutex_);       // takes the lock itself
+///    private:
+///     void AddLocked(Item item) DJ_REQUIRES(mutex_); // caller holds the lock
+///     mutable Mutex mutex_{"Registry.mutex"};
+///     std::vector<Item> items_ DJ_GUARDED_BY(mutex_);
+///   };
+
+#if defined(__clang__) && !defined(SWIG)
+#define DJ_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define DJ_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op on non-Clang
+#endif
+
+/// Declares a class to be a lockable capability (mutexes).
+#define DJ_CAPABILITY(x) DJ_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII class whose constructor acquires and destructor
+/// releases a capability (MutexLock).
+#define DJ_SCOPED_CAPABILITY DJ_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Data members: may only be read/written while holding `x`.
+#define DJ_GUARDED_BY(x) DJ_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer members: the pointed-to data is protected by `x` (the pointer
+/// itself may be read freely).
+#define DJ_PT_GUARDED_BY(x) DJ_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Declared lock-order edges, checked statically where both ends are known.
+#define DJ_ACQUIRED_BEFORE(...) \
+  DJ_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define DJ_ACQUIRED_AFTER(...) \
+  DJ_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Functions: the caller must hold the listed capabilities (exclusively /
+/// shared).
+#define DJ_REQUIRES(...) \
+  DJ_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define DJ_REQUIRES_SHARED(...) \
+  DJ_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Functions: acquire / release the listed capabilities (no list on a
+/// member function means `this`, i.e. Mutex::Lock itself).
+#define DJ_ACQUIRE(...) \
+  DJ_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define DJ_ACQUIRE_SHARED(...) \
+  DJ_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+#define DJ_RELEASE(...) \
+  DJ_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define DJ_RELEASE_SHARED(...) \
+  DJ_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+/// Functions: acquire the capability only when returning the given value.
+#define DJ_TRY_ACQUIRE(...) \
+  DJ_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Functions: the caller must NOT hold the listed capabilities (deadlock
+/// prevention for self-locking public APIs).
+#define DJ_EXCLUDES(...) \
+  DJ_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (informs the analysis).
+#define DJ_ASSERT_CAPABILITY(x) \
+  DJ_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Functions returning a reference to a capability.
+#define DJ_RETURN_CAPABILITY(x) \
+  DJ_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot follow (dynamic lock sets,
+/// lock handoff). Use sparingly and leave a comment saying why.
+#define DJ_NO_THREAD_SAFETY_ANALYSIS \
+  DJ_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // DJ_COMMON_THREAD_ANNOTATIONS_H_

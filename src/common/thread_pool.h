@@ -1,19 +1,28 @@
 #ifndef DJ_COMMON_THREAD_POOL_H_
 #define DJ_COMMON_THREAD_POOL_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dj {
 
 /// Fixed-size worker pool used by Dataset::Map / Filter. The paper's
 /// `num_proc` knob maps to the pool width here.
+///
+/// Shutdown contract: the destructor stops the workers only after the task
+/// queue is fully drained, and tasks submitted *during* that drain (e.g. a
+/// task resubmitting a continuation) still run — on a worker when one is
+/// still around to see the queue, on the destructing thread otherwise (a
+/// task can slip into the queue after every worker has already checked it
+/// one last time and exited; pre-toolkit code silently dropped it).
+/// Submitting from another thread after the destructor has returned is a
+/// lifetime bug no pool can repair.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -25,27 +34,31 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// Enqueues a task. Safe from any thread, including workers.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) DJ_EXCLUDES(mutex_);
 
   /// Blocks until all submitted tasks (including ones submitted while
-  /// waiting) have completed.
-  void Wait();
+  /// waiting) have completed. Calling from one of this pool's own workers
+  /// would self-deadlock (the caller is itself an unfinished task), so that
+  /// case logs an error and returns immediately.
+  void Wait() DJ_EXCLUDES(mutex_);
 
   /// Splits [0, n) into contiguous chunks and runs `fn(begin, end)` on the
-  /// pool, blocking until done. Runs inline when the pool has one thread or
-  /// n is tiny, avoiding scheduling overhead.
-  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+  /// pool, blocking until done. Runs inline when the pool has one thread,
+  /// n is tiny, or the caller is one of this pool's own workers (a nested
+  /// ParallelFor waiting on the pool it runs on would deadlock).
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn)
+      DJ_EXCLUDES(mutex_);
 
  private:
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  Mutex mutex_{"ThreadPool.mutex"};
+  CondVar task_available_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> tasks_ DJ_GUARDED_BY(mutex_);
+  size_t in_flight_ DJ_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ DJ_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace dj

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/sched_point.h"
 #include "common/stopwatch.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
@@ -211,6 +212,7 @@ std::string CompressFrame(std::string_view input, ThreadPool* pool) {
   };
   if (pool != nullptr && pool->num_threads() > 1 && num_blocks > 1) {
     pool->ParallelFor(num_blocks, compress_range);
+    DJ_SCHED_POINT("djlz.compress.gather");
   } else {
     compress_range(0, num_blocks);
   }
@@ -324,6 +326,7 @@ Result<std::string> DecompressFrame(std::string_view frame, ThreadPool* pool) {
   };
   if (pool != nullptr && pool->num_threads() > 1 && num_blocks > 1) {
     pool->ParallelFor(num_blocks, decompress_range);
+    DJ_SCHED_POINT("djlz.decompress.gather");
   } else {
     decompress_range(0, num_blocks);
   }

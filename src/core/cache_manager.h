@@ -20,6 +20,13 @@ namespace dj::core {
 ///
 /// Files are DJDS blobs, optionally djlz-compressed ("<key>.djds" /
 /// "<key>.djds.djlz").
+///
+/// Thread-compatibility: CacheManager holds no mutex by design. It is safe
+/// to use distinct instances from distinct threads, but a single instance
+/// must be externally synchronized (the executor drives it from the
+/// pipeline thread only). Concurrent Store() calls for the *same* key from
+/// different instances are crash-safe — both go through temp-file + rename
+/// — but the last rename wins.
 class CacheManager {
  public:
   CacheManager(std::string dir, bool compression)

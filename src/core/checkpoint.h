@@ -32,6 +32,12 @@ struct CheckpointState {
 /// mismatched blob is rejected with a clear Corruption error instead of
 /// being decoded into garbage. Fail points (src/fault) cover each crash
 /// window: ckpt.blob_write, ckpt.after_blob, ckpt.manifest_write.
+///
+/// Thread-compatibility: CheckpointManager holds no mutex by design — one
+/// instance belongs to one pipeline run and is driven from the executor
+/// thread only. Crash-atomicity (rename) protects against concurrent
+/// *processes* on the same directory, not concurrent threads on the same
+/// instance.
 class CheckpointManager {
  public:
   explicit CheckpointManager(std::string dir) : dir_(std::move(dir)) {}

@@ -17,7 +17,7 @@ Tracer::OpTotals* Tracer::TotalsFor(std::string_view op_name) {
 
 void Tracer::RecordEdit(std::string_view op_name, size_t row,
                         std::string_view before, std::string_view after) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   OpTotals* totals = TotalsFor(op_name);
   ++totals->edited;
   size_t existing = 0;
@@ -33,7 +33,7 @@ void Tracer::RecordEdit(std::string_view op_name, size_t row,
 void Tracer::RecordFiltered(std::string_view op_name, size_t row,
                             std::string_view text,
                             std::string_view stats_json) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   OpTotals* totals = TotalsFor(op_name);
   ++totals->filtered;
   size_t existing = 0;
@@ -48,7 +48,7 @@ void Tracer::RecordFiltered(std::string_view op_name, size_t row,
 
 void Tracer::RecordDuplicate(std::string_view op_name, std::string_view kept,
                              std::string_view removed, double similarity) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   OpTotals* totals = TotalsFor(op_name);
   ++totals->duplicates;
   size_t existing = 0;
@@ -62,27 +62,27 @@ void Tracer::RecordDuplicate(std::string_view op_name, std::string_view kept,
 }
 
 std::vector<Tracer::MapperEdit> Tracer::edits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return edits_;
 }
 
 std::vector<Tracer::FilteredSample> Tracer::filtered() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return filtered_;
 }
 
 std::vector<Tracer::DuplicateRecord> Tracer::duplicates() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return duplicates_;
 }
 
 std::vector<Tracer::OpTotals> Tracer::Totals() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return totals_;
 }
 
 std::string Tracer::Summary() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::string out = "op_name                                  edited  "
                     "filtered  duplicates\n";
   for (const auto& t : totals_) {
@@ -98,7 +98,7 @@ std::string Tracer::Summary() const {
 }
 
 Status Tracer::WriteTo(const std::string& dir) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto to_jsonl = [](const json::Array& rows) {
     std::string out;
     for (const json::Value& row : rows) {

@@ -2,11 +2,12 @@
 #define DJ_CORE_TRACER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace dj::core {
 
@@ -67,16 +68,16 @@ class Tracer {
   Status WriteTo(const std::string& dir) const;
 
  private:
-  OpTotals* TotalsFor(std::string_view op_name);
+  OpTotals* TotalsFor(std::string_view op_name) DJ_REQUIRES(mutex_);
   size_t CountFor(std::string_view op_name,
                   const std::vector<std::string>& counted) const;
 
   size_t limit_;
-  mutable std::mutex mutex_;
-  std::vector<MapperEdit> edits_;
-  std::vector<FilteredSample> filtered_;
-  std::vector<DuplicateRecord> duplicates_;
-  std::vector<OpTotals> totals_;
+  mutable Mutex mutex_{"Tracer.mutex"};
+  std::vector<MapperEdit> edits_ DJ_GUARDED_BY(mutex_);
+  std::vector<FilteredSample> filtered_ DJ_GUARDED_BY(mutex_);
+  std::vector<DuplicateRecord> duplicates_ DJ_GUARDED_BY(mutex_);
+  std::vector<OpTotals> totals_ DJ_GUARDED_BY(mutex_);
 };
 
 }  // namespace dj::core

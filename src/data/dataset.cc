@@ -5,6 +5,8 @@
 #include <iterator>
 #include <mutex>
 
+#include "common/mutex.h"
+
 namespace dj::data {
 
 // ---------------------------------------------------------------- RowRef --
@@ -208,7 +210,7 @@ Status Dataset::Map(const std::function<Status(RowRef)>& fn,
     }
     return Status::Ok();
   }
-  std::mutex err_mutex;
+  Mutex err_mutex{"Dataset.first_error"};
   Status first_error;
   std::atomic<bool> failed{false};
   pool->ParallelFor(num_rows_, [&](size_t begin, size_t end) {
@@ -216,7 +218,7 @@ Status Dataset::Map(const std::function<Status(RowRef)>& fn,
       if (failed.load(std::memory_order_relaxed)) return;
       Status s = fn(RowRef(this, i));
       if (!s.ok()) {
-        std::lock_guard<std::mutex> lock(err_mutex);
+        MutexLock lock(&err_mutex);
         if (first_error.ok()) first_error = std::move(s);
         failed.store(true, std::memory_order_relaxed);
         return;
@@ -230,13 +232,13 @@ Result<std::vector<size_t>> Dataset::FilterIndices(
     const std::function<Result<bool>(RowRef)>& pred, ThreadPool* pool,
     std::vector<bool>* kept) {
   std::vector<bool> mask(num_rows_, false);
-  std::mutex err_mutex;
+  Mutex err_mutex{"Dataset.first_error"};
   Status first_error;
   auto run = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       Result<bool> r = pred(RowRef(this, i));
       if (!r.ok()) {
-        std::lock_guard<std::mutex> lock(err_mutex);
+        MutexLock lock(&err_mutex);
         if (first_error.ok()) first_error = r.status();
         return;
       }
@@ -253,7 +255,7 @@ Result<std::vector<size_t>> Dataset::FilterIndices(
       for (size_t i = begin; i < end; ++i) {
         Result<bool> r = pred(RowRef(this, i));
         if (!r.ok()) {
-          std::lock_guard<std::mutex> lock(err_mutex);
+          MutexLock lock(&err_mutex);
           if (first_error.ok()) first_error = r.status();
           return;
         }

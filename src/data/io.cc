@@ -5,6 +5,7 @@
 
 #include "common/file_util.h"
 #include "common/hash.h"
+#include "common/sched_point.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "compress/djlz.h"
@@ -263,6 +264,7 @@ void MaybeParallelFor(ThreadPool* pool, size_t n,
                       const std::function<void(size_t, size_t)>& fn) {
   if (pool != nullptr && pool->num_threads() > 1 && n > 1) {
     pool->ParallelFor(n, fn);
+    DJ_SCHED_POINT("io.shard.gather");
   } else {
     fn(0, n);
   }
@@ -499,6 +501,7 @@ Result<Dataset> ParseJsonl(std::string_view content, ThreadPool* pool) {
       errors[i] = ParseJsonlChunk(chunks[i], base_lines[i], &parts[i]);
     }
   });
+  DJ_SCHED_POINT("io.parse.gather");
   // Report the earliest failing line, matching the serial parse.
   for (Status& s : errors) {
     if (!s.ok()) return std::move(s);
@@ -544,6 +547,7 @@ std::string ToJsonl(const Dataset& dataset, ThreadPool* pool) {
         stringify_rows(c * per, std::min(rows, (c + 1) * per), &parts[c]);
       }
     });
+    DJ_SCHED_POINT("io.to_jsonl.gather");
     size_t total = 0;
     for (const std::string& p : parts) total += p.size();
     out.reserve(total);

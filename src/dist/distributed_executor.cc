@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "common/random.h"
+#include "common/sched_point.h"
 #include "common/stopwatch.h"
 
 namespace dj::dist {
@@ -57,6 +58,7 @@ std::vector<data::Dataset> Shard(const data::Dataset& ds, size_t n,
   };
   if (pool != nullptr && pool->num_threads() > 1 && n > 1) {
     pool->ParallelFor(n, slice_range);
+    DJ_SCHED_POINT("dist.shard.gather");
   } else {
     slice_range(0, n);
   }

@@ -114,7 +114,7 @@ Status FaultRegistry::ConfigureFromEnv() {
 }
 
 void FaultRegistry::Arm(std::string name, FailPointConfig config) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto [it, inserted] = points_.try_emplace(std::move(name));
   it->second.config = config;
   ReseedPointLocked(it->first, &it->second);
@@ -122,7 +122,7 @@ void FaultRegistry::Arm(std::string name, FailPointConfig config) {
 }
 
 void FaultRegistry::Disarm(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = points_.find(name);
   if (it == points_.end()) return;
   points_.erase(it);
@@ -130,7 +130,7 @@ void FaultRegistry::Disarm(std::string_view name) {
 }
 
 void FaultRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   armed_count_.fetch_sub(static_cast<int>(points_.size()),
                          std::memory_order_relaxed);
   points_.clear();
@@ -139,20 +139,20 @@ void FaultRegistry::Reset() {
 }
 
 void FaultRegistry::SetSeed(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   seed_ = seed;
   for (auto& [name, point] : points_) ReseedPointLocked(name, &point);
 }
 
 uint64_t FaultRegistry::seed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return seed_;
 }
 
 bool FaultRegistry::ShouldFail(std::string_view name) {
   bool triggered = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = points_.find(name);
     if (it == points_.end()) return false;
     Point& point = it->second;
@@ -182,19 +182,19 @@ bool FaultRegistry::ShouldFail(std::string_view name) {
 }
 
 FailPointStats FaultRegistry::Stats(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = points_.find(name);
   if (it == points_.end()) return {};
   return {it->second.hits, it->second.triggers};
 }
 
 uint64_t FaultRegistry::TotalTriggers() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return total_triggers_;
 }
 
 std::vector<std::string> FaultRegistry::ArmedPoints() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<std::string> out;
   out.reserve(points_.size());
   for (const auto& [name, point] : points_) out.push_back(name);

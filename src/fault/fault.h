@@ -4,13 +4,14 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace dj::fault {
 
@@ -111,12 +112,13 @@ class FaultRegistry {
 
   static constexpr uint64_t kDefaultSeed = 0xfa17fa17fa17ULL;
 
-  void ReseedPointLocked(const std::string& name, Point* point);
+  void ReseedPointLocked(const std::string& name, Point* point)
+      DJ_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Point, std::less<>> points_;
-  uint64_t seed_ = kDefaultSeed;
-  uint64_t total_triggers_ = 0;
+  mutable Mutex mutex_{"FaultRegistry.mutex"};
+  std::map<std::string, Point, std::less<>> points_ DJ_GUARDED_BY(mutex_);
+  uint64_t seed_ DJ_GUARDED_BY(mutex_) = kDefaultSeed;
+  uint64_t total_triggers_ DJ_GUARDED_BY(mutex_) = 0;
   std::atomic<int> armed_count_{0};
 };
 

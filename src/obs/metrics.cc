@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/file_util.h"
+#include "common/lock_order.h"
+#include "common/sched_point.h"
 #include "json/writer.h"
 
 namespace dj::obs {
@@ -30,7 +32,7 @@ std::vector<uint64_t> Histogram::BucketCounts() const {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -40,7 +42,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -50,7 +52,7 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          std::vector<double> upper_bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     if (upper_bounds.empty()) upper_bounds = DefaultSecondsBounds();
@@ -63,19 +65,19 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
 }
 
 const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : it->second.get();
 }
 
 const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
@@ -85,7 +87,7 @@ std::vector<double> MetricsRegistry::DefaultSecondsBounds() {
 }
 
 json::Value MetricsRegistry::SnapshotJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   json::Object counters;
   for (const auto& [name, counter] : counters_) {
     counters.Set(name, json::Value(counter->value()));
@@ -130,6 +132,29 @@ MetricsRegistry* GlobalMetrics() {
 
 void InstallGlobalMetrics(MetricsRegistry* metrics) {
   g_global_metrics.store(metrics, std::memory_order_release);
+  // Bridge the concurrency toolkit (which lives below obs in the dependency
+  // graph and cannot name a MetricsRegistry) onto the installed registry:
+  // lock-order inversions and schedule perturbations become counters. The
+  // callbacks re-resolve GlobalMetrics() at event time, so a stale registry
+  // pointer is never captured; both events are rare, so the name lookup is
+  // not a hot path. Re-entrancy is safe: the tracker and the sched registry
+  // both suppress their own probes while running a callback.
+  if (metrics != nullptr) {
+    LockOrderRegistry::Global().SetOnInversion(
+        [](const LockOrderRegistry::Inversion&) {
+          if (MetricsRegistry* m = GlobalMetrics(); m != nullptr) {
+            m->GetCounter("lockorder.inversions")->Increment();
+          }
+        });
+    sched::SchedRegistry::Global().SetOnPerturb([] {
+      if (MetricsRegistry* m = GlobalMetrics(); m != nullptr) {
+        m->GetCounter("sched.perturbations")->Increment();
+      }
+    });
+  } else {
+    LockOrderRegistry::Global().SetOnInversion(nullptr);
+    sched::SchedRegistry::Global().SetOnPerturb(nullptr);
+  }
 }
 
 }  // namespace dj::obs

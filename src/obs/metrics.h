@@ -5,12 +5,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "json/value.h"
 
 namespace dj::obs {
@@ -92,10 +93,13 @@ class MetricsRegistry {
   Status WriteTo(const std::string& path) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mutex_{"MetricsRegistry.mutex"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      DJ_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      DJ_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      DJ_GUARDED_BY(mutex_);
 };
 
 /// Process-wide registry used by deep layers (the data-plane codecs) that

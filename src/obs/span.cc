@@ -51,7 +51,7 @@ SpanRecorder::ThreadBuffer* SpanRecorder::LocalBuffer() {
       return static_cast<ThreadBuffer*>(entry.buffer);
     }
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   buffers_.push_back(std::make_unique<ThreadBuffer>());
   ThreadBuffer* buffer = buffers_.back().get();
   buffer->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
@@ -61,7 +61,7 @@ SpanRecorder::ThreadBuffer* SpanRecorder::LocalBuffer() {
 
 void SpanRecorder::Append(Event event) {
   ThreadBuffer* buffer = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buffer->mu);
+  MutexLock lock(&buffer->mu);
   buffer->events.push_back(std::move(event));
 }
 
@@ -117,30 +117,37 @@ void SpanRecorder::EmitInstant(std::string_view name,
 }
 
 size_t SpanRecorder::EventCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   size_t total = 0;
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(&buffer->mu);
     total += buffer->events.size();
   }
   return total;
 }
 
 json::Value SpanRecorder::ToJson() const {
-  std::vector<const Event*> events;
-  std::vector<std::unique_lock<std::mutex>> buffer_locks;
-  std::lock_guard<std::mutex> lock(mutex_);
-  buffer_locks.reserve(buffers_.size());
-  for (const auto& buffer : buffers_) {
-    buffer_locks.emplace_back(buffer->mu);
-    for (const Event& e : buffer->events) events.push_back(&e);
+  // Copy each buffer out under its own lock rather than holding every
+  // buffer lock at once: the dump stays coherent per thread (appends are
+  // monotone in ts), and the dynamic all-buffers lock set was both
+  // unprovable for the static analysis and a nested same-class acquisition
+  // pattern the lock-order registry would have to special-case.
+  std::vector<Event> events;
+  {
+    MutexLock lock(&mutex_);
+    for (const auto& buffer : buffers_) {
+      MutexLock buffer_lock(&buffer->mu);
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
   }
   std::stable_sort(events.begin(), events.end(),
-                   [](const Event* a, const Event* b) { return a->ts < b->ts; });
+                   [](const Event& a, const Event& b) { return a.ts < b.ts; });
 
   json::Array trace_events;
   trace_events.reserve(events.size());
-  for (const Event* e : events) {
+  for (const Event& event : events) {
+    const Event* e = &event;
     json::Object o;
     o.Set("name", json::Value(e->name));
     o.Set("cat", json::Value(e->category));

@@ -5,12 +5,13 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "json/value.h"
 
 namespace dj::obs {
@@ -70,18 +71,18 @@ class SpanRecorder {
     double value = 0;   // 'C' only
   };
   struct ThreadBuffer {
-    std::mutex mu;
-    std::vector<Event> events;
-    int64_t tid = 0;
+    Mutex mu{"SpanRecorder.buffer"};
+    std::vector<Event> events DJ_GUARDED_BY(mu);
+    int64_t tid = 0;  ///< written once at registration, then owner-read only
   };
 
-  ThreadBuffer* LocalBuffer();
+  ThreadBuffer* LocalBuffer() DJ_EXCLUDES(mutex_);
   void Append(Event event);
 
   uint64_t id_;  ///< process-unique, keys the thread-local buffer cache
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mutex_;  ///< guards buffers_
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable Mutex mutex_{"SpanRecorder.registry"};
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ DJ_GUARDED_BY(mutex_);
   std::atomic<int64_t> next_tid_{1};
 };
 

@@ -6,6 +6,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/string_util.h"
 #include "obs/span.h"
 #include "text/ngram.h"
@@ -97,13 +98,13 @@ Result<data::Dataset> DocumentExactDeduplicator::Deduplicate(
   fingerprints_.assign(n, Fingerprint128{});
   dataset.EnsureColumn(data::kStatsField);
   Status status;
-  std::mutex status_mutex;
+  Mutex status_mutex{"ExactDedup.first_error"};
   {
     DJ_OBS_SPAN("exact_dedup.compute_hashes");
     ForEachRow(&dataset, pool, [&](size_t i) {
       Status s = ComputeHash(dataset.Row(i), nullptr);
       if (!s.ok()) {
-        std::lock_guard<std::mutex> lock(status_mutex);
+        MutexLock lock(&status_mutex);
         if (status.ok()) status = std::move(s);
       }
     });

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# One-shot hygiene gate: sanitized build, full test suite, a --Werror lint
-# pass plus plan-explain over every shipped recipe, a clang-tidy/cppcheck
-# static-analysis pass (skipped with a notice when the tools are absent),
-# an observability smoke-gate (trace + metrics JSON round-trip), and a
-# ThreadSanitizer pass over the concurrency-heavy tests.
+# One-shot hygiene gate: sanitized build, full test suite (with lock-order
+# inversions fatal), a --Werror lint pass plus plan-explain over every
+# shipped recipe, a clang-tidy/cppcheck static-analysis pass (skipped with a
+# notice when the tools are absent), a Clang -Wthread-safety build of the
+# DJ_GUARDED_BY annotations (skipped when clang++ is absent), an
+# observability smoke-gate (trace + metrics JSON round-trip), and a
+# ThreadSanitizer pass over the concurrency-heavy tests — re-run under three
+# seeds of schedule perturbation (DJ_SCHED) to shake the interleavings.
 # Run from anywhere inside the repo.
 #
 # Usage: tools/check.sh [build-dir]   (default: build-check)
@@ -23,8 +26,8 @@ cmake -B "${build_dir}" -S "${repo_dir}" \
 echo "== build =="
 cmake --build "${build_dir}" -j
 
-echo "== test =="
-ctest --test-dir "${build_dir}" --output-on-failure -j4
+echo "== test (lock-order inversions fatal) =="
+DJ_LOCK_ORDER=fatal ctest --test-dir "${build_dir}" --output-on-failure -j4
 
 echo "== lint shipped recipes (--Werror) =="
 "${build_dir}/tools/dj_lint" --Werror "${repo_dir}"/configs/recipes/*.yaml
@@ -36,6 +39,20 @@ if grep -q "REFUSED" <<< "${explain_out}"; then
   echo "${explain_out}"
   echo "check.sh: a shipped recipe's optimized plan was refused" >&2
   exit 1
+fi
+
+echo "== thread-safety analysis (clang -Wthread-safety, if installed) =="
+if command -v clang++ >/dev/null 2>&1; then
+  tsa_dir="${build_dir}-tsa"
+  cmake -B "${tsa_dir}" -S "${repo_dir}" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DDJ_THREAD_SAFETY=ON \
+    -DDJ_WERROR=ON
+  cmake --build "${tsa_dir}" -j
+else
+  echo "clang++ not installed; skipping DJ_THREAD_SAFETY build" \
+       "(annotations compile as no-ops under this compiler)"
 fi
 
 echo "== static analysis (clang-tidy / cppcheck, if installed) =="
@@ -123,13 +140,17 @@ done
 echo "crash+resume byte-identical for all seeds"
 
 echo "== TSan pass (core/dist/obs + parallel I/O + fault tests) =="
+# The suppressions file only mutes the deliberate lock-order inversions
+# that tests/concurrency_test.cc constructs on purpose (see tools/tsan.supp).
+export TSAN_OPTIONS="suppressions=${repo_dir}/tools/tsan.supp"
 tsan_dir="${build_dir}-tsan"
 cmake -B "${tsan_dir}" -S "${repo_dir}" \
   -DCMAKE_BUILD_TYPE=Debug \
   -DDJ_SANITIZE=thread
 cmake --build "${tsan_dir}" -j --target \
   core_test dist_test obs_test data_test io_parallel_test compress_test \
-  fault_test
+  fault_test concurrency_test
+"${tsan_dir}/tests/concurrency_test"
 "${tsan_dir}/tests/core_test"
 "${tsan_dir}/tests/dist_test"
 "${tsan_dir}/tests/obs_test"
@@ -139,5 +160,21 @@ cmake --build "${tsan_dir}" -j --target \
 # The full crash matrix is slow under TSan; run the registry/determinism/
 # checkpoint suites plus one representative recipe matrix.
 "${tsan_dir}/tests/fault_test" --gtest_filter="FaultRegistryTest.*:FaultDeterminismTest.*:FaultObsTest.*:AllCrashWindows/*:CheckpointCorruptionTest.*:*CrashMatrixTest*minimal_dedup*"
+
+echo "== TSan under schedule perturbation (3 seeds) =="
+# Seeded yield/sleep probes at lock boundaries, pool dispatch, and gather
+# joins force interleavings a quiet machine never produces — exactly what
+# TSan needs to see racy pairs overlap. Each seed is a different shake.
+for seed in 1 2 3; do
+  echo "-- DJ_SCHED seed=${seed} --"
+  DJ_SCHED="seed=${seed};p=0.05;max_us=200" \
+    "${tsan_dir}/tests/concurrency_test"
+  DJ_SCHED="seed=${seed};p=0.05;max_us=200" \
+    "${tsan_dir}/tests/io_parallel_test"
+  DJ_SCHED="seed=${seed};p=0.05;max_us=200" \
+    "${tsan_dir}/tests/compress_test"
+  DJ_SCHED="seed=${seed};p=0.02;max_us=100" \
+    "${tsan_dir}/tests/dist_test"
+done
 
 echo "check.sh: all green"

@@ -7,6 +7,7 @@
 //              [--np N] [--fusion] [--trace] [--cache-dir DIR] [--no-verify]
 //              [--trace-out trace.json] [--metrics-out metrics.json]
 //              [--checkpoint-dir DIR] [--resume] [--faults SPEC]
+//              [--sched SPEC]
 //
 // --input/--output override the recipe's dataset_path/export_path.
 // The recipe is linted before any data is touched; lint errors abort the
@@ -19,6 +20,11 @@
 // "seed=7;exec.op_abort=n2;io.write.short=p0.1"); the env var is applied
 // first, then the flag. On a faulted (failed) run the trace/metrics files
 // are still written so the fault instants can be inspected.
+//
+// --sched arms seeded schedule perturbation (same syntax as the DJ_SCHED
+// env var, e.g. "seed=3;p=0.05;max_us=200"): DJ_SCHED_POINT probes at lock
+// boundaries, pool dispatch, and gather joins yield or micro-sleep with
+// probability p, shaking out interleavings deterministically per seed.
 //
 // --trace-out writes a Chrome trace-event JSON (open in chrome://tracing or
 // https://ui.perfetto.dev) with per-OP spans and interleaved RSS/CPU
@@ -33,6 +39,7 @@
 #include <string>
 
 #include "common/resource_monitor.h"
+#include "common/sched_point.h"
 #include "common/thread_pool.h"
 #include "core/executor.h"
 #include "core/tracer.h"
@@ -61,6 +68,7 @@ struct Args {
   std::string checkpoint_dir;
   bool resume = false;
   std::string faults;
+  std::string sched;
 };
 
 int Usage(const char* argv0) {
@@ -69,7 +77,7 @@ int Usage(const char* argv0) {
                "[--output out.jsonl] [--np N] [--fusion] [--trace] "
                "[--cache-dir DIR] [--no-verify] [--trace-out trace.json] "
                "[--metrics-out metrics.json] [--checkpoint-dir DIR] "
-               "[--resume] [--faults SPEC]\n",
+               "[--resume] [--faults SPEC] [--sched SPEC]\n",
                argv0);
   return 2;
 }
@@ -124,6 +132,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->faults = v;
+    } else if (flag == "--sched") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->sched = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -211,6 +223,21 @@ int main(int argc, char** argv) {
     if (auto s = dj::fault::FaultRegistry::Global().Configure(args.faults);
         !s.ok()) {
       std::fprintf(stderr, "--faults error: %s\n", s.ToString().c_str());
+      return 2;
+    }
+  }
+
+  // Schedule-perturbation activation mirrors fail points: env var first,
+  // then the flag.
+  if (auto s = dj::sched::SchedRegistry::Global().ConfigureFromEnv();
+      !s.ok()) {
+    std::fprintf(stderr, "DJ_SCHED error: %s\n", s.ToString().c_str());
+    return 2;
+  }
+  if (!args.sched.empty()) {
+    if (auto s = dj::sched::SchedRegistry::Global().Configure(args.sched);
+        !s.ok()) {
+      std::fprintf(stderr, "--sched error: %s\n", s.ToString().c_str());
       return 2;
     }
   }
