@@ -7,6 +7,7 @@
 #include "common/lock_order.h"
 #include "common/sched_point.h"
 #include "common/thread_annotations.h"
+#include "common/thread_introspect.h"
 
 namespace dj {
 
@@ -25,6 +26,11 @@ class CondVar;
 ///                seeded perturbation (DJ_SCHED) shakes lock handoff
 ///                interleavings under TSan.
 ///
+/// When a profiler or watchdog is attached (introspect::Enabled()), each
+/// acquisition additionally mirrors the lock name into the owning thread's
+/// introspection slot, so the watchdog's stall dump can list the dj::Mutex
+/// set a wedged thread holds. Unattached, the hook is one relaxed load.
+///
 /// The name identifies the *lock class*, not the instance: every
 /// "ThreadPool.mutex" shares one node in the lock-order graph, which is
 /// what lets an inversion observed between two different pool instances
@@ -41,9 +47,11 @@ class DJ_CAPABILITY("mutex") Mutex {
     DJ_SCHED_POINT(name_);
     mu_.lock();
     LockOrderRegistry::Global().OnAcquire(this, name_);
+    introspect::OnLockAcquired(name_);
   }
 
   void Unlock() DJ_RELEASE() {
+    introspect::OnLockReleased(name_);
     LockOrderRegistry::Global().OnRelease(this, name_);
     mu_.unlock();
   }
@@ -53,6 +61,7 @@ class DJ_CAPABILITY("mutex") Mutex {
     // A try-lock cannot deadlock by itself, but holding the lock it won
     // while acquiring others can; record it like any acquisition.
     LockOrderRegistry::Global().OnAcquire(this, name_);
+    introspect::OnLockAcquired(name_);
     return true;
   }
 
@@ -97,11 +106,13 @@ class CondVar {
   /// Subject to spurious wakeups — loop on the predicate, or use the
   /// predicate overload.
   void Wait(Mutex* mu) DJ_REQUIRES(mu) {
+    introspect::OnLockReleased(mu->name_);
     LockOrderRegistry::Global().OnRelease(mu, mu->name_);
     std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // ownership returns to the caller's guard
     LockOrderRegistry::Global().OnAcquire(mu, mu->name_);
+    introspect::OnLockAcquired(mu->name_);
   }
 
   template <typename Predicate>

@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 namespace dj {
 namespace {
@@ -54,6 +55,52 @@ double ResourceMonitor::CurrentCpuSeconds() {
   return to_sec(ru.ru_utime) + to_sec(ru.ru_stime);
 }
 
+double ResourceMonitor::ReadCpuSecondsFrom(const char* stat_path) {
+  FILE* f = std::fopen(stat_path, "r");
+  if (f == nullptr) return 0;
+  char line[1024];
+  bool ok = std::fgets(line, sizeof(line), f) != nullptr;
+  std::fclose(f);
+  if (!ok) return 0;
+  // The comm field (2nd) is parenthesized and may contain spaces; fields
+  // count from the ')' instead of the line start. utime/stime are fields
+  // 14/15 overall, i.e. the 12th/13th after comm.
+  const char* p = std::strrchr(line, ')');
+  if (p == nullptr) return 0;
+  ++p;
+  unsigned long long utime = 0, stime = 0;
+  int field = 2;
+  while (*p != '\0' && field < 13) {
+    while (*p == ' ') ++p;
+    while (*p != '\0' && *p != ' ') ++p;
+    ++field;
+  }
+  if (std::sscanf(p, " %llu %llu", &utime, &stime) != 2) return 0;
+  long ticks = sysconf(_SC_CLK_TCK);
+  if (ticks <= 0) return 0;
+  return static_cast<double>(utime + stime) / static_cast<double>(ticks);
+}
+
+uint64_t ResourceMonitor::CurrentPeakRssBytes() {
+  return ReadPeakRssBytesFrom("/proc/self/status");
+}
+
+uint64_t ResourceMonitor::ReadPeakRssBytesFrom(const char* status_path) {
+  FILE* f = std::fopen(status_path, "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    unsigned long long value = 0;
+    if (std::sscanf(line, "VmHWM: %llu kB", &value) == 1) {
+      kb = value;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
 void ResourceMonitor::Start() {
   if (running_.exchange(true)) return;
   {
@@ -88,6 +135,11 @@ ResourceReport ResourceMonitor::Stop() {
   } else {
     report.peak_rss_bytes = report.avg_rss_bytes = CurrentRssBytes();
   }
+  // The kernel high-water mark catches spikes shorter than the sampling
+  // interval; it is lifetime-wide, so only take it when it exceeds what we
+  // actually saw this interval.
+  uint64_t hwm = CurrentPeakRssBytes();
+  if (hwm > report.peak_rss_bytes) report.peak_rss_bytes = hwm;
   return report;
 }
 

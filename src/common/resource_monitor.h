@@ -55,6 +55,18 @@ class ResourceMonitor {
   static uint64_t ReadRssBytesFrom(const char* statm_path);
   /// Cumulative user+system CPU seconds of this process.
   static double CurrentCpuSeconds();
+  /// CPU seconds parsed from a /proc/<pid>/stat-format file (utime+stime
+  /// clock ticks); 0 when missing or malformed. Seam for testing; the
+  /// getrusage path above stays the default because it also counts
+  /// already-reaped children's time consistently.
+  static double ReadCpuSecondsFrom(const char* stat_path);
+  /// Kernel-reported peak ("high water mark") RSS of this process, 0 if
+  /// unavailable. Unlike the sampled peak this cannot miss a short spike
+  /// between samples.
+  static uint64_t CurrentPeakRssBytes();
+  /// VmHWM parsed from a /proc/<pid>/status-format file; 0 when missing or
+  /// malformed. Seam for testing.
+  static uint64_t ReadPeakRssBytesFrom(const char* status_path);
 
  private:
   void SampleLoop();

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/sched_point.h"
+#include "common/thread_introspect.h"
 
 namespace dj {
 namespace {
@@ -45,7 +46,11 @@ ThreadPool::~ThreadPool() {
       tasks_.pop();
     }
     DJ_SCHED_POINT("threadpool.drain");
-    task();
+    {
+      introspect::BusyScope busy;
+      introspect::SpanTag tag("threadpool.task");
+      task();
+    }
     MutexLock lock(&mutex_);
     --in_flight_;
     if (in_flight_ == 0) all_done_.NotifyAll();
@@ -100,8 +105,12 @@ void ThreadPool::ParallelFor(size_t n,
 
 void ThreadPool::WorkerLoop() {
   t_current_pool = this;
+  if (introspect::Enabled()) {
+    introspect::CurrentThreadState()->SetRole("threadpool.worker");
+  }
   while (true) {
     std::function<void()> task;
+    size_t backlog = 0;
     {
       MutexLock lock(&mutex_);
       task_available_.Wait(&mutex_, [this]() DJ_REQUIRES(mutex_) {
@@ -110,9 +119,21 @@ void ThreadPool::WorkerLoop() {
       if (tasks_.empty()) break;  // shutdown_ with nothing left to do
       task = std::move(tasks_.front());
       tasks_.pop();
+      backlog = tasks_.size();
     }
     DJ_SCHED_POINT("threadpool.dispatch");
-    task();
+    {
+      // Introspection: the worker beats at every dispatch, runs the task
+      // busy (so only mid-task silence counts as a stall), roots the task
+      // in the profiler's tag stack, and publishes the queue backlog it
+      // observed for the watchdog's live-state dump.
+      introspect::BusyScope busy;
+      introspect::SpanTag tag("threadpool.task");
+      if (introspect::Enabled()) {
+        introspect::CurrentThreadState()->SetQueueDepth(backlog);
+      }
+      task();
+    }
     {
       MutexLock lock(&mutex_);
       --in_flight_;

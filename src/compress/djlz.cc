@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "common/sched_point.h"
 #include "common/stopwatch.h"
+#include "common/thread_introspect.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -213,6 +214,7 @@ std::string CompressFrame(std::string_view input, ThreadPool* pool) {
   if (pool != nullptr && pool->num_threads() > 1 && num_blocks > 1) {
     pool->ParallelFor(num_blocks, compress_range);
     DJ_SCHED_POINT("djlz.compress.gather");
+    introspect::Heartbeat();
   } else {
     compress_range(0, num_blocks);
   }
@@ -327,6 +329,7 @@ Result<std::string> DecompressFrame(std::string_view frame, ThreadPool* pool) {
   if (pool != nullptr && pool->num_threads() > 1 && num_blocks > 1) {
     pool->ParallelFor(num_blocks, decompress_range);
     DJ_SCHED_POINT("djlz.decompress.gather");
+    introspect::Heartbeat();
   } else {
     decompress_range(0, num_blocks);
   }

@@ -1,11 +1,14 @@
 #include "core/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <optional>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/thread_introspect.h"
 #include "core/plan_verify.h"
 #include "fault/fault.h"
 #include "json/writer.h"
@@ -52,9 +55,10 @@ Result<std::vector<std::unique_ptr<ops::Op>>> BuildOps(
 std::string RunReport::ToString() const {
   std::string out;
   char buf[240];
-  std::snprintf(buf, sizeof(buf), "%-44s %-13s %9s %9s %9s %11s %7s %6s\n",
-                "op", "kind", "rows_in", "rows_out", "sec", "rows/s",
-                "%time", "cache");
+  std::snprintf(buf, sizeof(buf),
+                "%-44s %-13s %9s %9s %9s %11s %7s %7s %6s\n", "op", "kind",
+                "rows_in", "rows_out", "sec", "rows/s", "%time", "%cpu",
+                "cache");
   out += buf;
   // %-of-total uses the sum of per-OP seconds, not wall time, so cached
   // (zero-second) prefixes don't make the executed suffix sum to < 100%.
@@ -74,10 +78,17 @@ std::string RunReport::ToString() const {
     } else {
       std::snprintf(pct, sizeof(pct), "-");
     }
+    char cpu[16];
+    if (r.cpu_share >= 0) {
+      std::snprintf(cpu, sizeof(cpu), "%.1f%%", r.cpu_share * 100);
+    } else {
+      std::snprintf(cpu, sizeof(cpu), "-");
+    }
     std::snprintf(buf, sizeof(buf),
-                  "%-44s %-13s %9zu %9zu %9.3f %11s %7s %6s\n",
+                  "%-44s %-13s %9zu %9zu %9.3f %11s %7s %7s %6s\n",
                   r.name.c_str(), r.kind.c_str(), r.rows_in, r.rows_out,
-                  r.seconds, throughput, pct, r.cache_hit ? "hit" : "-");
+                  r.seconds, throughput, pct, cpu,
+                  r.cache_hit ? "hit" : "-");
     out += buf;
   }
   std::snprintf(buf, sizeof(buf),
@@ -85,6 +96,12 @@ std::string RunReport::ToString() const {
                 total_seconds, rows_in, rows_out, cache_hits,
                 resumed_from_checkpoint ? ", resumed from checkpoint" : "");
   out += buf;
+  if (unit_seconds_p50 >= 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "unit seconds: p50 %.3f, p95 %.3f, p99 %.3f\n",
+                  unit_seconds_p50, unit_seconds_p95, unit_seconds_p99);
+    out += buf;
+  }
   if (plan_rejected) {
     out += "plan: refused by effect verification, ran in recipe order\n";
   } else if (plan_swaps > 0) {
@@ -225,6 +242,13 @@ Result<data::Dataset> Executor::Run(data::Dataset dataset,
                                     const std::vector<ops::Op*>& ops,
                                     RunReport* report) {
   obs::Span run_span(options_.spans, "executor.run", "executor");
+  // The run's driving thread is "busy" for the watchdog the whole run and
+  // beats at every unit boundary below; a unit that hangs mid-OP leaves
+  // the heartbeat stale and gets dumped.
+  introspect::BusyScope busy_scope;
+  if (introspect::Enabled()) {
+    introspect::CurrentThreadState()->SetRole("executor");
+  }
   Stopwatch total_watch;
   if (!options_.faults.empty()) {
     DJ_RETURN_IF_ERROR(fault::FaultRegistry::Global().Configure(
@@ -385,6 +409,14 @@ Result<data::Dataset> Executor::Run(data::Dataset dataset,
       return Status::Aborted("fault injected: exec.op_abort before unit '" +
                              r.name + "'");
     }
+    // Stall fault: sleep while busy without beating the heartbeat, as a
+    // hung OP would. The run then continues — the point is to exercise the
+    // watchdog's detection + dump path, not to kill anything.
+    if (DJ_FAULT("exec.stall")) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options_.fault_stall_seconds));
+    }
+    introspect::Heartbeat();
 
     {
       obs::Span unit_span(options_.spans, "unit:" + r.name, "op");
@@ -435,7 +467,15 @@ Result<data::Dataset> Executor::Run(data::Dataset dataset,
     options_.metrics->GetCounter("executor.runs")->Increment();
     options_.metrics->GetCounter("executor.rows_in")->Add(rep->rows_in);
     options_.metrics->GetCounter("executor.rows_out")->Add(dataset.NumRows());
+    if (const obs::Histogram* h =
+            options_.metrics->FindHistogram("executor.unit_seconds");
+        h != nullptr) {
+      rep->unit_seconds_p50 = h->Quantile(0.50);
+      rep->unit_seconds_p95 = h->Quantile(0.95);
+      rep->unit_seconds_p99 = h->Quantile(0.99);
+    }
   }
+  introspect::Heartbeat();
 
   rep->rows_out = dataset.NumRows();
   rep->total_seconds = total_watch.ElapsedSeconds();

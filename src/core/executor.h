@@ -30,6 +30,12 @@ struct OpReport {
   size_t rows_out = 0;
   double seconds = 0;
   bool cache_hit = false;
+  /// Fraction of profiler samples attributed to this OP (obs::Profiler
+  /// OpCpuShares), filled by the driver when a profiler ran alongside the
+  /// run; -1 = no profile available. Unlike `seconds` (wall time of the
+  /// unit), this measures where worker CPU actually went, so an OP that
+  /// parallelizes badly shows high %time but low %cpu.
+  double cpu_share = -1;
 };
 
 struct RunReport {
@@ -44,6 +50,12 @@ struct RunReport {
   /// was refused (the executor then fell back to recipe order).
   size_t plan_swaps = 0;
   bool plan_rejected = false;
+  /// Unit wall-time quantiles from the "executor.unit_seconds" histogram
+  /// (bucket-interpolated, so resolution is bucket width); -1 when no
+  /// metrics registry was attached.
+  double unit_seconds_p50 = -1;
+  double unit_seconds_p95 = -1;
+  double unit_seconds_p99 = -1;
 
   std::string ToString() const;
 };
@@ -101,6 +113,12 @@ class Executor {
     /// boundaries; armed points in deeper layers (io.*, ckpt.*,
     /// compress.*) fire wherever those layers run.
     std::string faults;
+
+    /// How long an armed "exec.stall" fault sleeps at the unit boundary —
+    /// busy, without beating the heartbeat — to simulate a hung OP. The
+    /// default is long enough to trip a sub-100ms watchdog threshold in
+    /// tests, short enough to not slow them down.
+    double fault_stall_seconds = 0.35;
   };
 
   explicit Executor(Options options);

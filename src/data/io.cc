@@ -8,6 +8,7 @@
 #include "common/sched_point.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/thread_introspect.h"
 #include "compress/djlz.h"
 #include "fault/fault.h"
 #include "json/parser.h"
@@ -265,6 +266,7 @@ void MaybeParallelFor(ThreadPool* pool, size_t n,
   if (pool != nullptr && pool->num_threads() > 1 && n > 1) {
     pool->ParallelFor(n, fn);
     DJ_SCHED_POINT("io.shard.gather");
+    introspect::Heartbeat();
   } else {
     fn(0, n);
   }
@@ -502,6 +504,7 @@ Result<Dataset> ParseJsonl(std::string_view content, ThreadPool* pool) {
     }
   });
   DJ_SCHED_POINT("io.parse.gather");
+  introspect::Heartbeat();
   // Report the earliest failing line, matching the serial parse.
   for (Status& s : errors) {
     if (!s.ok()) return std::move(s);
@@ -548,6 +551,7 @@ std::string ToJsonl(const Dataset& dataset, ThreadPool* pool) {
       }
     });
     DJ_SCHED_POINT("io.to_jsonl.gather");
+    introspect::Heartbeat();
     size_t total = 0;
     for (const std::string& p : parts) total += p.size();
     out.reserve(total);

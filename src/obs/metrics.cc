@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/file_util.h"
 #include "common/lock_order.h"
@@ -29,6 +30,34 @@ std::vector<uint64_t> Histogram::BucketCounts() const {
     out.push_back(b.load(std::memory_order_relaxed));
   }
   return out;
+}
+
+double Histogram::Quantile(double q) const {
+  if (q < 0 || q > 1) return -1;
+  std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return -1;
+  // Rank of the target observation (1-based, rounded up so p95 of three
+  // observations is the third); q=0 maps to the first one.
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (seen + counts[i] < rank) {
+      seen += counts[i];
+      continue;
+    }
+    if (i >= bounds_.size()) return bounds_.empty() ? -1 : bounds_.back();
+    double lower = i == 0 ? 0 : bounds_[i - 1];
+    double upper = bounds_[i];
+    double within = (static_cast<double>(rank - seen)) /
+                    static_cast<double>(counts[i]);
+    return lower + (upper - lower) * within;
+  }
+  return bounds_.empty() ? -1 : bounds_.back();
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
@@ -107,6 +136,9 @@ json::Value MetricsRegistry::SnapshotJson() const {
     h.Set("buckets", json::Value(std::move(buckets)));
     h.Set("count", json::Value(histogram->count()));
     h.Set("sum", json::Value(histogram->sum()));
+    h.Set("p50", json::Value(histogram->Quantile(0.50)));
+    h.Set("p95", json::Value(histogram->Quantile(0.95)));
+    h.Set("p99", json::Value(histogram->Quantile(0.99)));
     histograms.Set(name, json::Value(std::move(h)));
   }
   json::Object out;

@@ -55,6 +55,13 @@ class Histogram {
   /// One count per bound plus the trailing overflow bucket.
   std::vector<uint64_t> BucketCounts() const;
 
+  /// Estimated value at quantile `q` in [0, 1], linearly interpolated
+  /// within the containing bucket (the classic Prometheus estimate, so
+  /// accuracy is bounded by bucket width). Observations in the overflow
+  /// bucket report the last bound — the histogram cannot see past it.
+  /// Returns -1 when empty or `q` is outside [0, 1].
+  double Quantile(double q) const;
+
  private:
   std::vector<double> bounds_;
   std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1

@@ -30,6 +30,11 @@ void RunJournal::SetResources(const ResourceUsage& usage) {
   resources_ = usage;
 }
 
+void RunJournal::SetProfile(json::Value profile) {
+  profile_ = std::move(profile);
+  has_profile_ = true;
+}
+
 void RunJournal::AddResourceSample(double wall_seconds_offset,
                                    uint64_t rss_bytes, double cpu_seconds,
                                    uint64_t base_ts_micros) {
@@ -97,6 +102,8 @@ json::Value RunJournal::MetricsJson() const {
   resources.Set("samples", json::Value(static_cast<int64_t>(
                                resource_samples_)));
   out.Set("resources", json::Value(std::move(resources)));
+
+  if (has_profile_) out.Set("profile", profile_);
 
   out.Set("metrics", metrics_ != nullptr ? metrics_->SnapshotJson()
                                          : json::Value(json::Object()));

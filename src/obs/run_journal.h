@@ -58,6 +58,11 @@ class RunJournal {
   void SetTotals(const RunTotals& totals);
   void SetResources(const ResourceUsage& usage);
 
+  /// Attaches a profiler report (obs::Profiler::Report::ToJson()); it
+  /// becomes the "profile" key of MetricsJson, so per-OP CPU attribution
+  /// ships in the same artifact as per-OP wall times.
+  void SetProfile(json::Value profile);
+
   /// Adds one resource sample. `wall_seconds_offset` is the sample's offset
   /// from `base_ts_micros` on the span recorder's clock; with a recorder
   /// attached, the sample becomes "rss_mib" and "cpu_seconds" counter
@@ -67,7 +72,7 @@ class RunJournal {
 
   /// The merged run report:
   ///   {"schema_version", "run", "ops": [...], "totals", "cache",
-  ///    "resources", "metrics": <registry snapshot>}
+  ///    "resources", "profile"?, "metrics": <registry snapshot>}
   json::Value MetricsJson() const;
 
   /// Pretty-printed MetricsJson() to `path`.
@@ -85,6 +90,8 @@ class RunJournal {
   RunTotals totals_;
   ResourceUsage resources_;
   size_t resource_samples_ = 0;
+  json::Value profile_;
+  bool has_profile_ = false;
 };
 
 }  // namespace dj::obs

@@ -12,6 +12,7 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "common/thread_introspect.h"
 #include "json/value.h"
 
 namespace dj::obs {
@@ -97,12 +98,15 @@ SpanRecorder* GlobalRecorder();
 void InstallGlobalRecorder(SpanRecorder* recorder);
 
 /// RAII span guard: records a complete event covering its own lifetime.
-/// With a null recorder every member is a no-op.
+/// With a null recorder every member is a no-op. Independently of the
+/// recorder, the guard pushes its name onto the calling thread's
+/// introspection tag stack while a profiler/watchdog is attached — this is
+/// how the sampling profiler sees span paths without unwinding.
 class Span {
  public:
   Span(SpanRecorder* recorder, std::string_view name,
        std::string_view category = "dj")
-      : recorder_(recorder) {
+      : tag_(name), recorder_(recorder) {
     if (recorder_ != nullptr) {
       name_ = name;
       category_ = category;
@@ -120,6 +124,7 @@ class Span {
   Span& operator=(const Span&) = delete;
 
  private:
+  introspect::SpanTag tag_;
   SpanRecorder* recorder_;
   std::string name_;
   std::string category_;

@@ -4,9 +4,12 @@
 # shipped recipe, a clang-tidy/cppcheck static-analysis pass (skipped with a
 # notice when the tools are absent), a Clang -Wthread-safety build of the
 # DJ_GUARDED_BY annotations (skipped when clang++ is absent), an
-# observability smoke-gate (trace + metrics JSON round-trip), and a
-# ThreadSanitizer pass over the concurrency-heavy tests — re-run under three
-# seeds of schedule perturbation (DJ_SCHED) to shake the interleavings.
+# observability smoke-gate (trace + metrics JSON round-trip, a profiled run
+# validated with --require-profile, an injected-stall watchdog dump, and
+# the dj_bench_diff perf-regression gate incl. its must-fail self-test),
+# and a ThreadSanitizer pass over the concurrency-heavy tests — re-run
+# under three seeds of schedule perturbation (DJ_SCHED) to shake the
+# interleavings.
 # Run from anywhere inside the repo.
 #
 # Usage: tools/check.sh [build-dir]   (default: build-check)
@@ -138,6 +141,68 @@ for seed in 1 2 3; do
   cmp "${smoke_dir}/out.jsonl" "${smoke_dir}/fault_seed${seed}.jsonl"
 done
 echo "crash+resume byte-identical for all seeds"
+
+echo "== profiled smoke (sampling profiler + watchdog alive) =="
+# The fig8 pretrain-books recipe over a bigger corpus (the 40-doc one
+# finishes inside one 2 ms sampling interval), the profiler writing
+# collapsed stacks and a (quiet) watchdog attached: the profile must be
+# non-empty and the trace must be self-describing about both
+# (profile:tick + watchdog:beat instants, a "profile" object in
+# metrics.json). Synthetic prose does not survive the recipe's quality
+# filters (its duplicate-ngram ratio is inherently high) — irrelevant
+# here: the assertions are about the profiling artifacts, not the output.
+nouns=(river mountain harvest lantern voyage quiet marble signal autumn copper meadow spiral)
+verbs=(describes follows examines recalls measures traces)
+for i in $(seq 1 600); do
+  body=""
+  for j in $(seq 1 12); do
+    body="${body}The ${nouns[$(((i * 7 + j * 3) % 12))]} ${verbs[$(((i + j) % 6))]} the ${nouns[$(((i * 5 + j) % 12))]} beyond the ${nouns[$(((j * 11 + i) % 12))]} while the reader counts to $(((i * j) % 97)) and notes what chapter ${j} of book ${i} still owes its plot. "
+  done
+  printf '{"text": "%s"}\n' "${body}"
+done > "${smoke_dir}/profile_in.jsonl"
+"${build_dir}/tools/dj_process" \
+  --recipe "${repo_dir}/configs/recipes/pretrain_books.yaml" \
+  --input "${smoke_dir}/profile_in.jsonl" \
+  --output "${smoke_dir}/profiled_out.jsonl" \
+  --trace-out "${smoke_dir}/profiled_trace.json" \
+  --metrics-out "${smoke_dir}/profiled_metrics.json" \
+  --profile-out "${smoke_dir}/profile.folded" \
+  --watchdog "stall=30"
+test -s "${smoke_dir}/profile.folded"
+"${build_dir}/tools/dj_trace_check" --require-profile \
+  "${smoke_dir}/profiled_trace.json" "${smoke_dir}/profiled_metrics.json"
+
+echo "== watchdog stall smoke (injected stall must be dumped) =="
+# An exec.stall fail point makes the executor sleep busy-without-beating
+# past a tight threshold; the run must survive AND the stall dump must
+# reach stderr.
+"${build_dir}/tools/dj_process" \
+  --recipe "${repo_dir}/configs/recipes/minimal_dedup.yaml" \
+  --input "${smoke_dir}/in.jsonl" \
+  --output "${smoke_dir}/stalled_out.jsonl" \
+  --faults "exec.stall=n1" \
+  --watchdog "stall=0.1;poll=0.025" \
+  2> "${smoke_dir}/watchdog_stderr.txt"
+if ! grep -q "=== WATCHDOG" "${smoke_dir}/watchdog_stderr.txt"; then
+  cat "${smoke_dir}/watchdog_stderr.txt" >&2
+  echo "check.sh: injected stall did not produce a watchdog dump" >&2
+  exit 1
+fi
+cmp "${smoke_dir}/out.jsonl" "${smoke_dir}/stalled_out.jsonl"
+
+echo "== bench-diff gate (perf-regression ledger) =="
+# The committed baseline must self-compare clean, and the gate must
+# actually be able to fail: the same compare with one metric hand-degraded
+# 25% past its 10% tolerance has to exit 1 (2 would be a usage bug).
+bench_baseline="${repo_dir}/bench/baselines/BENCH_io_data_plane.json"
+"${build_dir}/tools/dj_bench_diff" "${bench_baseline}" "${bench_baseline}"
+degrade_rc=0
+"${build_dir}/tools/dj_bench_diff" --degrade parse_jsonl_serial_ms=1.25 \
+  "${bench_baseline}" "${bench_baseline}" || degrade_rc=$?
+if [ "${degrade_rc}" -ne 1 ]; then
+  echo "check.sh: bench-diff gate self-test expected exit 1, got ${degrade_rc}" >&2
+  exit 1
+fi
 
 echo "== TSan pass (core/dist/obs + parallel I/O + fault tests) =="
 # The suppressions file only mutes the deliberate lock-order inversions

@@ -7,7 +7,8 @@
 //              [--np N] [--fusion] [--trace] [--cache-dir DIR] [--no-verify]
 //              [--trace-out trace.json] [--metrics-out metrics.json]
 //              [--checkpoint-dir DIR] [--resume] [--faults SPEC]
-//              [--sched SPEC]
+//              [--sched SPEC] [--profile-out profile.txt]
+//              [--watchdog SPEC]
 //
 // --input/--output override the recipe's dataset_path/export_path.
 // The recipe is linted before any data is touched; lint errors abort the
@@ -32,8 +33,20 @@
 // (per-OP rows/seconds, cache hit/miss counters, resource aggregates).
 // Either flag alone enables instrumentation; with neither, the run pays no
 // observability cost beyond null-pointer checks.
+//
+// --profile-out writes flamegraph-compatible collapsed stacks from the
+// sampling profiler (obs::Profiler: the span-path tag stacks of all busy
+// threads, sampled at 500 Hz). The profiler also runs whenever trace or
+// metrics output is requested, adding per-OP "%cpu" to the report and a
+// "profile" section to metrics.json.
+//
+// --watchdog SPEC (or the DJ_WATCHDOG env var; the flag wins) arms the
+// stall watchdog: "30" = dump live thread state to stderr when a busy
+// thread goes 30s without a heartbeat; "stall=5;poll=1" sets both knobs;
+// "off" disables. The run is not killed — the dump is for diagnosis.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
@@ -47,8 +60,10 @@
 #include "fault/fault.h"
 #include "lint/linter.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/run_journal.h"
 #include "obs/span.h"
+#include "obs/watchdog.h"
 #include "ops/formatters/formatters.h"
 #include "ops/registry.h"
 
@@ -69,6 +84,8 @@ struct Args {
   bool resume = false;
   std::string faults;
   std::string sched;
+  std::string profile_out;
+  std::string watchdog;
 };
 
 int Usage(const char* argv0) {
@@ -77,7 +94,8 @@ int Usage(const char* argv0) {
                "[--output out.jsonl] [--np N] [--fusion] [--trace] "
                "[--cache-dir DIR] [--no-verify] [--trace-out trace.json] "
                "[--metrics-out metrics.json] [--checkpoint-dir DIR] "
-               "[--resume] [--faults SPEC] [--sched SPEC]\n",
+               "[--resume] [--faults SPEC] [--sched SPEC] "
+               "[--profile-out profile.txt] [--watchdog SPEC]\n",
                argv0);
   return 2;
 }
@@ -136,6 +154,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->sched = v;
+    } else if (flag == "--profile-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->profile_out = v;
+    } else if (flag == "--watchdog") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->watchdog = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -210,6 +236,34 @@ int main(int argc, char** argv) {
     monitor_base_ts = spans.NowMicros();
     monitor.Start();
   }
+
+  // Sampling profiler: runs for the whole process whenever any
+  // observability output is requested, so the profile covers the load and
+  // export phases too.
+  const bool profile = observe || !args.profile_out.empty();
+  dj::obs::Profiler profiler;
+  if (profile) profiler.Start();
+
+  // Stall watchdog: DJ_WATCHDOG env first, then --watchdog overrides.
+  dj::obs::Watchdog::Options watchdog_options;
+  bool watchdog_enabled = false;
+  {
+    const char* env = std::getenv("DJ_WATCHDOG");
+    std::string spec = args.watchdog.empty()
+                           ? (env != nullptr ? env : "")
+                           : args.watchdog;
+    if (!spec.empty()) {
+      if (auto s = dj::obs::Watchdog::ParseSpec(spec, &watchdog_options,
+                                                &watchdog_enabled);
+          !s.ok()) {
+        std::fprintf(stderr, "watchdog spec error: %s\n",
+                     s.ToString().c_str());
+        return 2;
+      }
+    }
+  }
+  dj::obs::Watchdog watchdog(watchdog_options);
+  if (watchdog_enabled) watchdog.Start();
 
   // Fail-point activation: env var first, then the flag (so a flag can
   // override or extend DJ_FAULTS). Armed before the dataset loads so io.*
@@ -291,6 +345,29 @@ int main(int argc, char** argv) {
   // On a failed (possibly fault-injected) run the observability files are
   // still written — the whole point of a crash trace is inspecting it.
   auto flush_obs = [&](bool run_failed) {
+    // Stop the background samplers before serializing anything they feed.
+    dj::obs::Profiler::Report profile_report;
+    if (profile) {
+      profiler.Stop();
+      profile_report = profiler.Snapshot();
+    }
+    if (watchdog_enabled) {
+      watchdog.Stop();
+      if (watchdog.stall_count() > 0) {
+        std::fprintf(stderr, "watchdog: %llu stall episode(s) reported\n",
+                     static_cast<unsigned long long>(watchdog.stall_count()));
+      }
+    }
+    if (!args.profile_out.empty()) {
+      if (auto s = profiler.WriteCollapsed(args.profile_out); !s.ok()) {
+        std::fprintf(stderr, "profile-out error: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote profile (%llu samples over %llu ticks) to %s%s\n",
+                  static_cast<unsigned long long>(profile_report.samples),
+                  static_cast<unsigned long long>(profile_report.ticks),
+                  args.profile_out.c_str(), run_failed ? " (failed run)" : "");
+    }
     if (!observe) return 0;
     dj::obs::InstallGlobalRecorder(nullptr);
     dj::obs::InstallGlobalMetrics(nullptr);
@@ -315,6 +392,7 @@ int main(int argc, char** argv) {
     usage.cpu_seconds = resources.cpu_seconds;
     usage.avg_cpu_utilization = resources.avg_cpu_utilization;
     journal.SetResources(usage);
+    journal.SetProfile(profile_report.ToJson());
     for (const dj::ResourceSample& s : monitor.Samples()) {
       journal.AddResourceSample(s.wall_seconds, s.rss_bytes, s.cpu_seconds,
                                 monitor_base_ts);
@@ -352,6 +430,17 @@ int main(int argc, char** argv) {
                     ? "resumed from checkpoint in %s\n"
                     : "no usable checkpoint in %s; ran from scratch\n",
                 args.checkpoint_dir.c_str());
+  }
+  // Attribute profiler samples to OPs before printing: the report's %cpu
+  // column comes from here, matching OpCpuShares keys against unit names.
+  if (profile) {
+    auto shares = profiler.Snapshot().OpCpuShares();
+    if (!shares.empty()) {
+      for (dj::core::OpReport& r : report.op_reports) {
+        auto it = shares.find(r.name);
+        r.cpu_share = it != shares.end() ? it->second : 0.0;
+      }
+    }
   }
   std::printf("%s", report.ToString().c_str());
   if (args.trace) std::printf("\n%s", tracer.Summary().c_str());

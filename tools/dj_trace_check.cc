@@ -5,13 +5,17 @@
 // on.
 //
 // Usage: dj_trace_check [--require-io-spans] [--require-fault-instants]
-//                       trace.json metrics.json
+//                       [--require-profile] trace.json metrics.json
 // Exits 0 when both are valid; prints the first violation and exits 1
 // otherwise. With --require-io-spans, the trace must also carry at least
 // one "io.*" span (parse/serialize/compress from the parallel data plane).
 // With --require-fault-instants, the trace must carry at least one
 // "fault:<name>" instant event — i.e., a fail point actually fired during
 // the run (used by the fault-matrix smoke stage of tools/check.sh).
+// With --require-profile, the trace must carry "profile:tick" and
+// "watchdog:beat" instants (the sampling profiler and the stall watchdog
+// were demonstrably alive during the run) and metrics.json must carry a
+// "profile" object with at least one tick.
 
 #include <cstdio>
 #include <string>
@@ -30,7 +34,7 @@ bool Fail(const char* file, const std::string& why) {
 }
 
 bool CheckTrace(const char* path, bool require_io_spans,
-                bool require_fault_instants) {
+                bool require_fault_instants, bool require_profile) {
   auto content = dj::data::ReadFile(path);
   if (!content.ok()) return Fail(path, content.status().ToString());
   auto parsed = dj::json::ParseStrict(content.value());
@@ -45,6 +49,8 @@ bool CheckTrace(const char* path, bool require_io_spans,
   size_t complete_events = 0;
   size_t io_spans = 0;
   size_t fault_instants = 0;
+  size_t profile_ticks = 0;
+  size_t watchdog_beats = 0;
   for (const Value& e : events->as_array()) {
     if (!e.is_object()) return Fail(path, "event is not an object");
     for (const char* key : {"name", "ph", "ts", "pid", "tid"}) {
@@ -63,6 +69,8 @@ bool CheckTrace(const char* path, bool require_io_spans,
     } else if (ph == "i") {
       const std::string& name = e.as_object().Find("name")->as_string();
       if (name.rfind("fault:", 0) == 0) ++fault_instants;
+      if (name == "profile:tick") ++profile_ticks;
+      if (name == "watchdog:beat") ++watchdog_beats;
     }
   }
   if (complete_events == 0) {
@@ -76,15 +84,27 @@ bool CheckTrace(const char* path, bool require_io_spans,
     return Fail(path,
                 "no 'fault:*' instants — no fail point fired during the run");
   }
+  if (require_profile) {
+    if (profile_ticks == 0) {
+      return Fail(path,
+                  "no 'profile:tick' instants — the sampling profiler did "
+                  "not run");
+    }
+    if (watchdog_beats == 0) {
+      return Fail(path,
+                  "no 'watchdog:beat' instants — the stall watchdog did "
+                  "not run");
+    }
+  }
   std::printf(
       "dj_trace_check: %s ok (%zu events, %zu spans, %zu io spans, "
-      "%zu fault instants)\n",
+      "%zu fault instants, %zu profile ticks, %zu watchdog beats)\n",
       path, events->as_array().size(), complete_events, io_spans,
-      fault_instants);
+      fault_instants, profile_ticks, watchdog_beats);
   return true;
 }
 
-bool CheckMetrics(const char* path) {
+bool CheckMetrics(const char* path, bool require_profile) {
   auto content = dj::data::ReadFile(path);
   if (!content.ok()) return Fail(path, content.status().ToString());
   auto parsed = dj::json::ParseStrict(content.value());
@@ -117,6 +137,21 @@ bool CheckMetrics(const char* path) {
       !cache->as_object().Contains("misses")) {
     return Fail(path, "'cache' must carry hits/misses counters");
   }
+  if (require_profile) {
+    const Value* profile = root.as_object().Find("profile");
+    if (profile == nullptr || !profile->is_object()) {
+      return Fail(path, "missing 'profile' object");
+    }
+    const Value* ticks = profile->as_object().Find("ticks");
+    if (ticks == nullptr || !ticks->is_number() || ticks->as_double() < 1) {
+      return Fail(path, "'profile.ticks' must be >= 1");
+    }
+    for (const char* key : {"interval_seconds", "samples", "op_cpu"}) {
+      if (!profile->as_object().Contains(key)) {
+        return Fail(path, std::string("'profile' missing key '") + key + "'");
+      }
+    }
+  }
   std::printf("dj_trace_check: %s ok (%zu ops)\n", path,
               ops->as_array().size());
   return true;
@@ -127,6 +162,7 @@ bool CheckMetrics(const char* path) {
 int main(int argc, char** argv) {
   bool require_io_spans = false;
   bool require_fault_instants = false;
+  bool require_profile = false;
   int arg = 1;
   while (arg < argc) {
     std::string flag = argv[arg];
@@ -136,6 +172,9 @@ int main(int argc, char** argv) {
     } else if (flag == "--require-fault-instants") {
       require_fault_instants = true;
       ++arg;
+    } else if (flag == "--require-profile") {
+      require_profile = true;
+      ++arg;
     } else {
       break;
     }
@@ -143,11 +182,12 @@ int main(int argc, char** argv) {
   if (argc - arg != 2) {
     std::fprintf(stderr,
                  "usage: %s [--require-io-spans] [--require-fault-instants] "
-                 "trace.json metrics.json\n",
+                 "[--require-profile] trace.json metrics.json\n",
                  argv[0]);
     return 2;
   }
-  bool ok = CheckTrace(argv[arg], require_io_spans, require_fault_instants);
-  ok = CheckMetrics(argv[arg + 1]) && ok;
+  bool ok = CheckTrace(argv[arg], require_io_spans, require_fault_instants,
+                       require_profile);
+  ok = CheckMetrics(argv[arg + 1], require_profile) && ok;
   return ok ? 0 : 1;
 }
