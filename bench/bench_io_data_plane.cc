@@ -1,5 +1,5 @@
 // Parallel data plane benchmark: serial vs pooled throughput of the JSONL
-// parse/serialize paths, the sharded DJDS v2 codec, and the block-parallel
+// parse/serialize paths, the sharded DJDS v3 codec, and the block-parallel
 // djlz frame. Backs the Sec. 7 scalability claim at the I/O layer: the
 // data plane, not just OP compute, scales with workers. The key invariant
 // (asserted here on every run) is that pooled output is byte-identical to
@@ -13,6 +13,7 @@
 
 #include "bench_util.h"
 #include "common/stopwatch.h"
+#include "common/swar.h"
 #include "common/thread_pool.h"
 #include "compress/djlz.h"
 #include "data/io.h"
@@ -152,6 +153,9 @@ int main() {
   report.Add("determinism_ok", determinism_ok ? 1.0 : 0.0);
   const unsigned hw = std::thread::hardware_concurrency();
   report.Add("hardware_threads", static_cast<double>(hw));
+  // Which kernel level the data plane dispatched to (0=scalar .. 3=neon);
+  // environment metric, informational in dj_bench_diff.
+  report.Add("simd_level", dj::swar::ActiveLevelMetric());
   std::printf("\ncombined parse+serialize speedup at 4 threads: %.2fx "
               "(target >= 2x on >= 4 hardware threads; this host has %u)\n",
               combined, hw);

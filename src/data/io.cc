@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "common/file_util.h"
+#include "common/swar.h"
 #include "common/hash.h"
 #include "common/sched_point.h"
 #include "common/stopwatch.h"
@@ -22,6 +24,9 @@ namespace {
 constexpr char kDatasetMagic[4] = {'D', 'J', 'D', 'S'};
 constexpr uint8_t kDatasetVersionV1 = 1;
 constexpr uint8_t kDatasetVersionV2 = 2;
+// v3 is the v2 layout with swar::Hash64 header/shard checksums in place of
+// byte-serial FNV-1a: same corruption coverage, ~4x the checksum speed.
+constexpr uint8_t kDatasetVersionV3 = 3;
 
 /// Sharding defaults for the v2 container. The auto shard count depends
 /// only on the row count — never on the pool — so serial and parallel
@@ -201,6 +206,9 @@ void RecordIoMetrics(const char* op, uint64_t rows, uint64_t bytes,
   m->GetCounter(prefix + ".rows")->Add(rows);
   m->GetCounter(prefix + ".bytes")->Add(bytes);
   m->GetHistogram(prefix + "_seconds")->Observe(seconds);
+  // Which kernel level the data plane dispatched to (0=scalar .. 3=neon),
+  // so metrics snapshots record the configuration a run measured.
+  m->GetGauge("simd.kernel")->Set(swar::ActiveLevelMetric());
 }
 
 /// Serial JSONL parser core over one chunk. Lines are numbered from
@@ -229,6 +237,71 @@ Status ParseJsonlChunk(std::string_view content, size_t base_lineno,
                                 ": expected an object");
     }
     ds->AppendSample(Sample(std::move(r.value().as_object())));
+  }
+  return Status::Ok();
+}
+
+/// Stage 2 of the two-stage JSONL parse: walks the byte range
+/// [range_begin, range_end) of `content` using the structural index built
+/// by stage 1 (swar::StructuralScan over the whole buffer). `newlines`
+/// bounds lines without re-scanning bytes; the `quotes_escapes` positions
+/// falling inside each line drive the indexed field extractor. Any line the
+/// fast path cannot handle is re-parsed with json::ParseStrict so accepted
+/// values and error messages are identical to the byte-wise parser.
+///
+/// `nl_cursor` must index the first entry of `newlines` that is >=
+/// range_begin; because chunks are cut right after a newline, that is also
+/// the number of newlines before the chunk, i.e. the base line number.
+Status ParseJsonlIndexedRange(std::string_view content, size_t range_begin,
+                              size_t range_end, size_t nl_cursor,
+                              const std::vector<uint32_t>& newlines,
+                              const std::vector<uint32_t>& quotes_escapes,
+                              Dataset* ds) {
+  size_t lineno = nl_cursor;
+  size_t start = range_begin;
+  size_t nl_i = nl_cursor;
+  size_t qe_i = static_cast<size_t>(
+      std::lower_bound(quotes_escapes.begin(), quotes_escapes.end(),
+                       static_cast<uint32_t>(range_begin)) -
+      quotes_escapes.begin());
+  while (start < range_end) {
+    size_t eol = nl_i < newlines.size() && newlines[nl_i] < range_end
+                     ? static_cast<size_t>(newlines[nl_i])
+                     : range_end;
+    std::string_view line = content.substr(start, eol - start);
+    size_t next = eol < range_end ? eol + 1 : range_end;
+    if (eol < range_end) ++nl_i;
+    ++lineno;
+    start = next;
+    std::string_view body = StripAsciiWhitespace(line);
+    if (body.empty()) continue;
+    const size_t body_begin =
+        static_cast<size_t>(body.data() - content.data());
+    const size_t body_end = body_begin + body.size();
+    while (qe_i < quotes_escapes.size() && quotes_escapes[qe_i] < body_begin) {
+      ++qe_i;
+    }
+    size_t qe_hi = qe_i;
+    while (qe_hi < quotes_escapes.size() && quotes_escapes[qe_hi] < body_end) {
+      ++qe_hi;
+    }
+    json::Value v;
+    bool fast = json::TryParseStrictIndexed(
+        body, quotes_escapes.data() + qe_i, qe_hi - qe_i, body_begin, &v);
+    qe_i = qe_hi;
+    if (!fast) {
+      auto r = json::ParseStrict(body);
+      if (!r.ok()) {
+        return Status::Corruption("jsonl line " + std::to_string(lineno) +
+                                  ": " + r.status().message());
+      }
+      v = std::move(r.value());
+    }
+    if (!v.is_object()) {
+      return Status::Corruption("jsonl line " + std::to_string(lineno) +
+                                ": expected an object");
+    }
+    ds->AppendSample(Sample(std::move(v.as_object())));
   }
   return Status::Ok();
 }
@@ -312,8 +385,13 @@ Result<Dataset> DeserializeDatasetV1(std::string_view bytes) {
   return Dataset::FromColumns(std::move(col_names), std::move(cols));
 }
 
-Result<Dataset> DeserializeDatasetV2(std::string_view bytes,
-                                     ThreadPool* pool) {
+Result<Dataset> DeserializeDatasetV2(std::string_view bytes, ThreadPool* pool,
+                                     uint8_t version) {
+  // v2 and v3 share the layout and differ only in checksum function.
+  auto checksum_of = [version](std::string_view s) {
+    return version == kDatasetVersionV3 ? swar::Hash64(s.data(), s.size())
+                                        : Fnv1a64(s);
+  };
   size_t pos = 5;
   uint64_t num_rows = 0, num_cols = 0;
   if (!GetVarint(bytes, &pos, &num_rows) ||
@@ -380,7 +458,8 @@ Result<Dataset> DeserializeDatasetV2(std::string_view bytes,
   if (!GetU64Fixed(bytes, &pos, &header_checksum)) {
     return Status::Corruption("truncated DJDS header checksum");
   }
-  if (Fnv1a64(bytes.substr(header_begin, header_end)) != header_checksum) {
+  if (checksum_of(bytes.substr(header_begin, header_end)) !=
+      header_checksum) {
     return Status::Corruption("DJDS header checksum mismatch");
   }
   if (pos + payload_total != bytes.size()) {
@@ -399,7 +478,7 @@ Result<Dataset> DeserializeDatasetV2(std::string_view bytes,
     for (size_t s = begin; s < end; ++s) {
       std::string_view payload = bytes.substr(shards[s].offset,
                                               shards[s].length);
-      if (Fnv1a64(payload) != shards[s].checksum) {
+      if (checksum_of(payload) != shards[s].checksum) {
         errors[s] = Status::Corruption("DJDS shard checksum mismatch");
         continue;
       }
@@ -478,29 +557,103 @@ Status WriteFile(const std::string& path, std::string_view content) {
 Result<Dataset> ParseJsonl(std::string_view content, ThreadPool* pool) {
   DJ_OBS_SPAN("io.parse_jsonl");
   Stopwatch watch;
+  // The structural index stores uint32_t positions; inputs past 4 GiB take
+  // the byte-wise path (semantics identical, just unindexed).
+  if (content.size() > std::numeric_limits<uint32_t>::max()) {
+    if (pool == nullptr || pool->num_threads() <= 1) {
+      Dataset ds;
+      DJ_RETURN_IF_ERROR(ParseJsonlChunk(content, 0, &ds));
+      RecordIoMetrics("parse", ds.NumRows(), content.size(),
+                      watch.ElapsedSeconds());
+      return ds;
+    }
+    std::vector<std::string_view> chunks =
+        SplitAtNewlines(content, pool->num_threads());
+    // Chunk i's absolute starting line = lines in the chunks before it.
+    std::vector<size_t> base_lines(chunks.size(), 0);
+    for (size_t i = 1; i < chunks.size(); ++i) {
+      base_lines[i] =
+          base_lines[i - 1] +
+          static_cast<size_t>(
+              std::count(chunks[i - 1].begin(), chunks[i - 1].end(), '\n'));
+    }
+    std::vector<Dataset> parts(chunks.size());
+    std::vector<Status> errors(chunks.size(), Status::Ok());
+    pool->ParallelFor(chunks.size(), [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        errors[i] = ParseJsonlChunk(chunks[i], base_lines[i], &parts[i]);
+      }
+    });
+    DJ_SCHED_POINT("io.parse.gather");
+    introspect::Heartbeat();
+    for (Status& s : errors) {
+      if (!s.ok()) return std::move(s);
+    }
+    Dataset out = std::move(parts.front());
+    for (size_t i = 1; i < parts.size(); ++i) out.Concat(std::move(parts[i]));
+    RecordIoMetrics("parse", out.NumRows(), content.size(),
+                    watch.ElapsedSeconds());
+    return out;
+  }
+
+  // Stage 1: one wordwise pass finds every '\n', '"', and '\\'. Stage 2
+  // (ParseJsonlIndexedRange) then never scans bytes to find structure.
+  // Reserves sized to typical JSONL (one quote per ~25 bytes of text, lines
+  // a few hundred bytes) keep the hundreds of thousands of push_backs from
+  // doubling the vectors mid-scan.
+  std::vector<uint32_t> newlines;
+  std::vector<uint32_t> quotes_escapes;
+  newlines.reserve(content.size() / 256 + 16);
+  quotes_escapes.reserve(content.size() / 24 + 16);
+  swar::StructuralScan(content.data(), content.size(), &newlines,
+                       &quotes_escapes);
+
   if (pool == nullptr || pool->num_threads() <= 1 ||
       content.size() < kParallelParseThreshold) {
     Dataset ds;
-    DJ_RETURN_IF_ERROR(ParseJsonlChunk(content, 0, &ds));
+    DJ_RETURN_IF_ERROR(ParseJsonlIndexedRange(content, 0, content.size(), 0,
+                                              newlines, quotes_escapes, &ds));
     RecordIoMetrics("parse", ds.NumRows(), content.size(),
                     watch.ElapsedSeconds());
     return ds;
   }
-  std::vector<std::string_view> chunks =
-      SplitAtNewlines(content, pool->num_threads());
-  // Chunk i's absolute starting line = lines in the chunks before it.
-  std::vector<size_t> base_lines(chunks.size(), 0);
-  for (size_t i = 1; i < chunks.size(); ++i) {
-    base_lines[i] =
-        base_lines[i - 1] +
-        static_cast<size_t>(
-            std::count(chunks[i - 1].begin(), chunks[i - 1].end(), '\n'));
+
+  // Parallel path: cut chunks right after the newline at/past each even
+  // byte target, located in the index instead of via find('\n'). A chunk's
+  // newline cursor doubles as its base line number (newlines before it).
+  struct ChunkInfo {
+    size_t begin;
+    size_t end;
+    size_t nl_cursor;
+  };
+  std::vector<ChunkInfo> chunks;
+  const size_t target_chunks = pool->num_threads();
+  size_t begin = 0;
+  size_t nl_cursor = 0;
+  for (size_t i = 1; i < target_chunks && begin < content.size(); ++i) {
+    size_t target = content.size() * i / target_chunks;
+    if (target <= begin) continue;
+    size_t j = static_cast<size_t>(
+        std::lower_bound(newlines.begin() + nl_cursor, newlines.end(),
+                         static_cast<uint32_t>(target)) -
+        newlines.begin());
+    if (j >= newlines.size()) break;
+    size_t cut = static_cast<size_t>(newlines[j]) + 1;
+    chunks.push_back({begin, cut, nl_cursor});
+    begin = cut;
+    nl_cursor = j + 1;
+  }
+  if (begin < content.size()) {
+    chunks.push_back({begin, content.size(), nl_cursor});
   }
   std::vector<Dataset> parts(chunks.size());
   std::vector<Status> errors(chunks.size(), Status::Ok());
-  pool->ParallelFor(chunks.size(), [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      errors[i] = ParseJsonlChunk(chunks[i], base_lines[i], &parts[i]);
+  pool->ParallelFor(chunks.size(), [&](size_t cbegin, size_t cend) {
+    for (size_t i = cbegin; i < cend; ++i) {
+      errors[i] =
+          ParseJsonlIndexedRange(content, chunks[i].begin, chunks[i].end,
+                                 chunks[i].nl_cursor, newlines, quotes_escapes,
+                                 &parts[i]);
     }
   });
   DJ_SCHED_POINT("io.parse.gather");
@@ -509,7 +662,7 @@ Result<Dataset> ParseJsonl(std::string_view content, ThreadPool* pool) {
   for (Status& s : errors) {
     if (!s.ok()) return std::move(s);
   }
-  Dataset out = std::move(parts.front());
+  Dataset out = parts.empty() ? Dataset() : std::move(parts.front());
   for (size_t i = 1; i < parts.size(); ++i) out.Concat(std::move(parts[i]));
   RecordIoMetrics("parse", out.NumRows(), content.size(),
                   watch.ElapsedSeconds());
@@ -528,17 +681,52 @@ Result<Dataset> ReadJsonl(const std::string& path, ThreadPool* pool) {
 std::string ToJsonl(const Dataset& dataset, ThreadPool* pool) {
   DJ_OBS_SPAN("io.to_jsonl");
   Stopwatch watch;
-  auto stringify_rows = [&dataset](size_t begin, size_t end,
-                                   std::string* out) {
+  const size_t rows = dataset.NumRows();
+  // Rows are written straight from the columns: non-null cells in column
+  // order, exactly what MaterializeRow would collect — minus the Object
+  // copy and the per-row temporary string. Keys are escaped once up front.
+  const std::vector<std::string> names = dataset.ColumnNames();
+  std::vector<const std::vector<json::Value>*> cols;
+  cols.reserve(names.size());
+  std::vector<std::string> keys;
+  keys.reserve(names.size());
+  for (const std::string& name : names) {
+    cols.push_back(dataset.Column(name));
+    std::string key;
+    json::EscapeStringTo(name, &key);
+    key.push_back(':');
+    keys.push_back(std::move(key));
+  }
+  auto stringify_rows = [&](size_t begin, size_t end, std::string* out) {
     for (size_t i = begin; i < end; ++i) {
-      Sample s = dataset.MaterializeRow(i);
-      *out += json::Write(json::Value(s.fields()));
+      out->push_back('{');
+      bool first = true;
+      for (size_t c = 0; c < cols.size(); ++c) {
+        const json::Value& v = (*cols[c])[i];
+        if (v.is_null()) continue;
+        if (!first) out->push_back(',');
+        first = false;
+        out->append(keys[c]);
+        json::WriteTo(v, out);
+      }
+      out->push_back('}');
       out->push_back('\n');
     }
   };
+  // Reserve from a sampled row-size estimate so buffers grow once, not per
+  // append. A few rows spread across the dataset bound the typical size.
+  size_t est_row_bytes = 2;
+  if (rows > 0) {
+    std::string probe;
+    const size_t samples = std::min<size_t>(rows, 4);
+    for (size_t s = 0; s < samples; ++s) {
+      stringify_rows(s * (rows / samples), s * (rows / samples) + 1, &probe);
+    }
+    est_row_bytes = probe.size() / samples + 16;
+  }
   std::string out;
-  const size_t rows = dataset.NumRows();
   if (pool == nullptr || pool->num_threads() <= 1 || rows < 2) {
+    out.reserve(est_row_bytes * rows + 64);
     stringify_rows(0, rows, &out);
   } else {
     // Fixed chunking (independent of scheduling) + ordered gather.
@@ -547,7 +735,11 @@ std::string ToJsonl(const Dataset& dataset, ThreadPool* pool) {
     std::vector<std::string> parts(chunks);
     pool->ParallelFor(chunks, [&](size_t begin, size_t end) {
       for (size_t c = begin; c < end; ++c) {
-        stringify_rows(c * per, std::min(rows, (c + 1) * per), &parts[c]);
+        const size_t row_begin = c * per;
+        const size_t row_end = std::min(rows, (c + 1) * per);
+        if (row_begin >= row_end) continue;
+        parts[c].reserve(est_row_bytes * (row_end - row_begin) + 64);
+        stringify_rows(row_begin, row_end, &parts[c]);
       }
     });
     DJ_SCHED_POINT("io.to_jsonl.gather");
@@ -662,6 +854,20 @@ std::string SerializeDataset(const Dataset& dataset, ThreadPool* pool,
   auto serialize_range = [&](size_t begin, size_t end) {
     for (size_t s = begin; s < end; ++s) {
       std::string& payload = payloads[s];
+      const size_t rows = row_begin[s + 1] - row_begin[s];
+      // Size the payload from a few sampled rows so the big text columns
+      // append into reserved space instead of doubling the string.
+      const size_t samples = rows < 4 ? rows : 4;
+      if (samples > 0) {
+        std::string probe;
+        for (const std::string& name : names) {
+          const auto* cells = dataset.Column(name);
+          for (size_t r = row_begin[s]; r < row_begin[s] + samples; ++r) {
+            SerializeValue((*cells)[r], &probe);
+          }
+        }
+        payload.reserve((probe.size() / samples + 16) * rows + 64);
+      }
       for (const std::string& name : names) {
         const auto* cells = dataset.Column(name);
         for (size_t r = row_begin[s]; r < row_begin[s + 1]; ++r) {
@@ -677,7 +883,7 @@ std::string SerializeDataset(const Dataset& dataset, ThreadPool* pool,
   for (const std::string& p : payloads) payload_total += p.size();
   out.reserve(payload_total + 64 + names.size() * 16);
   out.append(kDatasetMagic, 4);
-  out.push_back(static_cast<char>(kDatasetVersionV2));
+  out.push_back(static_cast<char>(kDatasetVersionV3));
   PutVarint(num_rows, &out);
   PutVarint(names.size(), &out);
   for (const std::string& name : names) PutString(name, &out);
@@ -685,9 +891,10 @@ std::string SerializeDataset(const Dataset& dataset, ThreadPool* pool,
   for (size_t s = 0; s < num_shards; ++s) {
     PutVarint(row_begin[s + 1] - row_begin[s], &out);
     PutVarint(payloads[s].size(), &out);
-    PutU64Fixed(Fnv1a64(payloads[s]), &out);
+    PutU64Fixed(swar::Hash64(payloads[s]), &out);
   }
-  PutU64Fixed(Fnv1a64(out), &out);  // header checksum (shards cover payloads)
+  // Header checksum covers everything above it; shard entries cover payloads.
+  PutU64Fixed(swar::Hash64(out), &out);
   for (const std::string& p : payloads) out.append(p);
   RecordIoMetrics("serialize", num_rows, out.size(), watch.ElapsedSeconds());
   return out;
@@ -700,12 +907,12 @@ Result<Dataset> DeserializeDataset(std::string_view bytes, ThreadPool* pool) {
     return Status::Corruption("not a DJDS dataset blob");
   }
   uint8_t version = static_cast<uint8_t>(bytes[4]);
-  Result<Dataset> out = version == kDatasetVersionV1
-                            ? DeserializeDatasetV1(bytes)
-                        : version == kDatasetVersionV2
-                            ? DeserializeDatasetV2(bytes, pool)
-                            : Result<Dataset>(Status::Corruption(
-                                  "unsupported DJDS version"));
+  Result<Dataset> out =
+      version == kDatasetVersionV1 ? DeserializeDatasetV1(bytes)
+      : version == kDatasetVersionV2 || version == kDatasetVersionV3
+          ? DeserializeDatasetV2(bytes, pool, version)
+          : Result<Dataset>(
+                Status::Corruption("unsupported DJDS version"));
   if (out.ok()) {
     RecordIoMetrics("deserialize", out.value().NumRows(), bytes.size(),
                     watch.ElapsedSeconds());

@@ -8,6 +8,31 @@
 namespace dj::json {
 namespace {
 
+/// Converts a scanned number token to a Value. Single source of truth for
+/// number semantics: both the scalar parser and the indexed fast path call
+/// this, so they cannot disagree on a value. Returns false when the token
+/// is malformed (the caller turns that into its own error/fallback).
+bool NumberTokenToValue(const std::string& token, bool is_double, Value* out) {
+  if (!is_double) {
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(token.c_str(), &end, 10);
+    if (errno == 0 && end == token.c_str() + token.size()) {
+      *out = Value(static_cast<int64_t>(v));
+      return true;
+    }
+    // Fall through: integer overflow becomes a double.
+  }
+  errno = 0;
+  char* end = nullptr;
+  double d = std::strtod(token.c_str(), &end);
+  if (errno != 0 || end != token.c_str() + token.size() || !std::isfinite(d)) {
+    return false;
+  }
+  *out = Value(d);
+  return true;
+}
+
 class Parser {
  public:
   Parser(std::string_view text, bool lenient)
@@ -309,23 +334,9 @@ class Parser {
     }
     if (pos_ == start) return Error("invalid value");
     std::string token(text_.substr(start, pos_ - start));
-    if (!is_double) {
-      errno = 0;
-      char* end = nullptr;
-      long long v = std::strtoll(token.c_str(), &end, 10);
-      if (errno == 0 && end == token.c_str() + token.size()) {
-        *out = Value(static_cast<int64_t>(v));
-        return Status::Ok();
-      }
-      // Fall through: integer overflow becomes a double.
-    }
-    errno = 0;
-    char* end = nullptr;
-    double d = std::strtod(token.c_str(), &end);
-    if (errno != 0 || end != token.c_str() + token.size() || !std::isfinite(d)) {
+    if (!NumberTokenToValue(token, is_double, out)) {
       return Error("malformed number '" + token + "'");
     }
-    *out = Value(d);
     return Status::Ok();
   }
 
@@ -334,10 +345,254 @@ class Parser {
   size_t pos_ = 0;
 };
 
+/// Index-driven strict parser (stage 2 of the two-stage JSONL parse). The
+/// caller hands it the positions of every '"' and '\\' byte, so string
+/// fields are appended span-at-a-time between quote positions instead of
+/// byte-at-a-time. Anything unusual — malformed syntax, \u escapes, deep
+/// nesting, a position that disagrees with the index — makes it bail with
+/// false; the caller then re-parses with the scalar Parser so error
+/// behavior (and every accepted value) is identical by construction.
+class IndexedParser {
+ public:
+  IndexedParser(std::string_view text, const uint32_t* quotes_escapes,
+                size_t index_count, uint64_t index_base)
+      : t_(text), qe_(quotes_escapes), qe_n_(index_count), base_(index_base) {}
+
+  bool Run(Value* out) {
+    SkipWs();
+    if (!ParseValue(out, 0)) return false;
+    SkipWs();
+    return pos_ == t_.size();
+  }
+
+ private:
+  /// Past this depth the fast path bails to the scalar parser rather than
+  /// risking deep recursion (the scalar parser keeps today's behavior).
+  static constexpr int kMaxDepth = 64;
+
+  void SkipWs() {
+    while (pos_ < t_.size()) {
+      char c = t_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) return false;
+    if (pos_ >= t_.size()) return false;
+    switch (t_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) return false;
+        *out = Value(std::move(s));
+        return true;
+      }
+      case 't':
+        if (t_.substr(pos_, 4) != "true") return false;
+        pos_ += 4;
+        *out = Value(true);
+        return true;
+      case 'f':
+        if (t_.substr(pos_, 5) != "false") return false;
+        pos_ += 5;
+        *out = Value(false);
+        return true;
+      case 'n':
+        if (t_.substr(pos_, 4) != "null") return false;
+        pos_ += 4;
+        *out = Value(nullptr);
+        return true;
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(Value* out, int depth) {
+    ++pos_;  // consume '{'
+    Object obj;
+    SkipWs();
+    if (pos_ < t_.size() && t_[pos_] == '}') {
+      ++pos_;
+      *out = Value(std::move(obj));
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= t_.size() || t_[pos_] != '"') return false;
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= t_.size() || t_[pos_] != ':') return false;
+      ++pos_;
+      SkipWs();
+      Value value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      obj.Set(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= t_.size()) return false;
+      if (t_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (t_[pos_] != '}') return false;
+      ++pos_;
+      break;
+    }
+    *out = Value(std::move(obj));
+    return true;
+  }
+
+  bool ParseArray(Value* out, int depth) {
+    ++pos_;  // consume '['
+    Array arr;
+    SkipWs();
+    if (pos_ < t_.size() && t_[pos_] == ']') {
+      ++pos_;
+      *out = Value(std::move(arr));
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      Value v;
+      if (!ParseValue(&v, depth + 1)) return false;
+      arr.push_back(std::move(v));
+      SkipWs();
+      if (pos_ >= t_.size()) return false;
+      if (t_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (t_[pos_] != ']') return false;
+      ++pos_;
+      break;
+    }
+    *out = Value(std::move(arr));
+    return true;
+  }
+
+  /// pos_ must sit on the opening quote, which must appear in the index.
+  /// Appends the clean spans between indexed positions with bulk appends;
+  /// only escape bytes are handled individually.
+  bool ParseString(std::string* s) {
+    while (qe_i_ < qe_n_ && qe_[qe_i_] - base_ < pos_) ++qe_i_;
+    if (qe_i_ >= qe_n_ || qe_[qe_i_] - base_ != pos_) return false;
+    ++qe_i_;  // past the opening quote
+    size_t cur = ++pos_;
+    while (true) {
+      if (qe_i_ >= qe_n_) return false;  // unterminated -> scalar error
+      size_t p = static_cast<size_t>(qe_[qe_i_] - base_);
+      if (p >= t_.size()) return false;
+      if (t_[p] == '"') {
+        s->append(t_.data() + cur, p - cur);
+        pos_ = p + 1;
+        ++qe_i_;
+        return true;
+      }
+      // Backslash escape.
+      if (p + 1 >= t_.size()) return false;  // unterminated escape
+      s->append(t_.data() + cur, p - cur);
+      char decoded;
+      switch (t_[p + 1]) {
+        case '"':
+          decoded = '"';
+          break;
+        case '\\':
+          decoded = '\\';
+          break;
+        case '/':
+          decoded = '/';
+          break;
+        case 'b':
+          decoded = '\b';
+          break;
+        case 'f':
+          decoded = '\f';
+          break;
+        case 'n':
+          decoded = '\n';
+          break;
+        case 'r':
+          decoded = '\r';
+          break;
+        case 't':
+          decoded = '\t';
+          break;
+        default:
+          // \uXXXX (surrogate logic lives in one place: the scalar parser)
+          // and invalid escapes both bail.
+          return false;
+      }
+      s->push_back(decoded);
+      cur = p + 2;
+      ++qe_i_;  // past the backslash
+      // The escaped byte itself may be indexed ('\"' or '\\\\').
+      if (qe_i_ < qe_n_ && qe_[qe_i_] - base_ < cur) ++qe_i_;
+      pos_ = cur;
+    }
+  }
+
+  bool ParseNumber(Value* out) {
+    size_t start = pos_;
+    if (pos_ < t_.size() && (t_[pos_] == '-' || t_[pos_] == '+')) ++pos_;
+    bool is_double = false;
+    while (pos_ < t_.size()) {
+      char c = t_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        is_double = true;
+        ++pos_;
+        if (pos_ < t_.size() && (t_[pos_] == '-' || t_[pos_] == '+')) ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return false;
+    std::string_view token = t_.substr(start, pos_ - start);
+    if (!is_double) {
+      // Small integers (<= 18 digits cannot overflow) convert inline —
+      // identical to strtoll on the same token by construction.
+      size_t digits_at = token[0] == '-' || token[0] == '+' ? 1 : 0;
+      size_t num_digits = token.size() - digits_at;
+      if (num_digits >= 1 && num_digits <= 18) {
+        uint64_t v = 0;
+        for (size_t i = digits_at; i < token.size(); ++i) {
+          v = v * 10 + static_cast<uint64_t>(token[i] - '0');
+        }
+        *out = Value(token[0] == '-' ? -static_cast<int64_t>(v)
+                                     : static_cast<int64_t>(v));
+        return true;
+      }
+    }
+    return NumberTokenToValue(std::string(token), is_double, out);
+  }
+
+  std::string_view t_;
+  const uint32_t* qe_;
+  size_t qe_n_;
+  size_t qe_i_ = 0;
+  uint64_t base_;
+  size_t pos_ = 0;
+};
+
 }  // namespace
 
 Result<Value> Parse(std::string_view text) {
   return Parser(text, /*lenient=*/true).Run();
+}
+
+bool TryParseStrictIndexed(std::string_view text,
+                           const uint32_t* quotes_escapes, size_t index_count,
+                           uint64_t index_base, Value* out) {
+  return IndexedParser(text, quotes_escapes, index_count, index_base).Run(out);
 }
 
 Result<Value> ParseStrict(std::string_view text) {

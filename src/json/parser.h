@@ -17,6 +17,25 @@ Result<Value> Parse(std::string_view text);
 /// Strict variant: no comments, no trailing commas (used for JSONL data).
 Result<Value> ParseStrict(std::string_view text);
 
+/// Stage-2 fast path of the two-stage JSONL parse: a strict parse of `text`
+/// driven by a precomputed index of the structural bytes inside it.
+/// `quotes_escapes` holds the positions of every '"' and '\\' byte in
+/// `text`, ascending, expressed in the caller's coordinate space;
+/// `index_base` is the position of text[0] in that space (so the position
+/// of text[i] is index_base + i). The index lets string fields be bulk-
+/// copied between quote positions instead of scanned per byte.
+///
+/// Returns true and fills `*out` only when the fast path fully handled the
+/// line with results identical to ParseStrict. Returns false — leaving
+/// `*out` unspecified — whenever anything unusual appears (malformed input,
+/// \u escapes, deep nesting); the caller must then fall back to
+/// ParseStrict, which reproduces the exact scalar behavior including error
+/// messages. That fallback contract is what keeps the fast path and the
+/// scalar parser byte-identical by construction.
+bool TryParseStrictIndexed(std::string_view text,
+                           const uint32_t* quotes_escapes, size_t index_count,
+                           uint64_t index_base, Value* out);
+
 }  // namespace dj::json
 
 #endif  // DJ_JSON_PARSER_H_

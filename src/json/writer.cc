@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "common/swar.h"
+
 namespace dj::json {
 namespace {
 
@@ -76,7 +78,7 @@ void WriteObject(const Object& obj, const WriteOptions& opts, int depth,
     if (!first) out->push_back(',');
     first = false;
     if (opts.pretty) Indent(depth + 1, out);
-    out->append(EscapeString(key));
+    EscapeStringTo(key, out);
     out->push_back(':');
     if (opts.pretty) out->push_back(' ');
     WriteValue(value, opts, depth + 1, out);
@@ -99,7 +101,7 @@ void WriteValue(const Value& v, const WriteOptions& opts, int depth,
       WriteNumber(v, out);
       break;
     case Value::Type::kString:
-      out->append(EscapeString(v.as_string()));
+      EscapeStringTo(v.as_string(), out);
       break;
     case Value::Type::kArray:
       WriteArray(v.as_array(), opts, depth, out);
@@ -112,44 +114,56 @@ void WriteValue(const Value& v, const WriteOptions& opts, int depth,
 
 }  // namespace
 
-std::string EscapeString(std::string_view s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  out.push_back('"');
-  for (unsigned char c : s) {
+void EscapeStringTo(std::string_view s, std::string* out) {
+  out->reserve(out->size() + s.size() + 2);
+  out->push_back('"');
+  size_t i = 0;
+  while (i < s.size()) {
+    // Bulk-append the span that needs no escaping, then handle the one byte
+    // that stopped the scan.
+    size_t clean = swar::JsonCleanSpan(s.data() + i, s.size() - i);
+    out->append(s.data() + i, clean);
+    i += clean;
+    if (i >= s.size()) break;
+    unsigned char c = static_cast<unsigned char>(s[i]);
     switch (c) {
       case '"':
-        out.append("\\\"");
+        out->append("\\\"");
         break;
       case '\\':
-        out.append("\\\\");
+        out->append("\\\\");
         break;
       case '\b':
-        out.append("\\b");
+        out->append("\\b");
         break;
       case '\f':
-        out.append("\\f");
+        out->append("\\f");
         break;
       case '\n':
-        out.append("\\n");
+        out->append("\\n");
         break;
       case '\r':
-        out.append("\\r");
+        out->append("\\r");
         break;
       case '\t':
-        out.append("\\t");
+        out->append("\\t");
         break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out.append(buf);
-        } else {
-          out.push_back(static_cast<char>(c));
-        }
+      default: {
+        // c < 0x20 here: JsonCleanSpan only stops on '"', '\\', or control
+        // bytes.
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out->append(buf);
+      }
     }
+    ++i;
   }
-  out.push_back('"');
+  out->push_back('"');
+}
+
+std::string EscapeString(std::string_view s) {
+  std::string out;
+  EscapeStringTo(s, &out);
   return out;
 }
 
@@ -157,6 +171,10 @@ std::string Write(const Value& v, const WriteOptions& options) {
   std::string out;
   WriteValue(v, options, 0, &out);
   return out;
+}
+
+void WriteTo(const Value& v, std::string* out, const WriteOptions& options) {
+  WriteValue(v, options, 0, out);
 }
 
 }  // namespace dj::json

@@ -17,8 +17,17 @@ struct WriteOptions {
 /// keep insertion order), which config-hash caching relies on.
 std::string Write(const Value& v, const WriteOptions& options = {});
 
+/// Appends the serialization of `v` to `*out` (same bytes as Write). Lets
+/// row serializers build a whole output buffer without per-value temporary
+/// strings.
+void WriteTo(const Value& v, std::string* out, const WriteOptions& options = {});
+
 /// Escapes `s` as a JSON string literal including surrounding quotes.
 std::string EscapeString(std::string_view s);
+
+/// Appends the escaped form of `s` (including surrounding quotes) to `*out`.
+/// Clean spans — runs with no byte needing escaping — are appended in bulk.
+void EscapeStringTo(std::string_view s, std::string* out);
 
 }  // namespace dj::json
 

@@ -45,6 +45,14 @@ const char* DirectionName(MetricDirection d) {
 }  // namespace
 
 MetricDirection GuessDirection(std::string_view key) {
+  // Environment descriptors first: they record *where* the bench ran
+  // (thread count, kernel dispatch level, self-check verdicts), not how
+  // well, so a host change must never read as a perf regression. The
+  // "_ok" rule below would otherwise claim determinism_ok.
+  for (const char* token :
+       {"hardware_threads", "determinism_ok", "simd_level"}) {
+    if (ContainsToken(key, token)) return MetricDirection::kInformational;
+  }
   // Higher-is-better tokens first: "speedup_ms" should never exist, but a
   // throughput named "rows_per_sec" contains "_sec" and must not be
   // misread as a timing.

@@ -1,9 +1,11 @@
 #include "ops/dedup/minhash.h"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 
 #include "common/hash.h"
+#include "common/swar.h"
 
 namespace dj::ops {
 
@@ -22,12 +24,50 @@ MinHasher::MinHasher(size_t num_perm, uint64_t seed) : num_perm_(num_perm) {
 std::vector<uint64_t> MinHasher::Signature(
     const std::vector<uint64_t>& shingles) const {
   std::vector<uint64_t> sig(num_perm_, std::numeric_limits<uint64_t>::max());
-  for (uint64_t shingle : shingles) {
-    for (size_t i = 0; i < num_perm_; ++i) {
-      uint64_t h = (shingle ^ xor_[i]) * mul_[i];
-      h ^= h >> 29;
-      if (h < sig[i]) sig[i] = h;
+  if (shingles.empty()) return sig;
+  if (swar::ActiveLevel() == swar::Level::kScalar) {
+    // Reference loop nest (shingle-major), kept as the differential twin.
+    for (uint64_t shingle : shingles) {
+      for (size_t i = 0; i < num_perm_; ++i) {
+        uint64_t h = (shingle ^ xor_[i]) * mul_[i];
+        h ^= h >> 29;
+        if (h < sig[i]) sig[i] = h;
+      }
     }
+    return sig;
+  }
+  // Batched form: permutation-major with the shingle loop unrolled 4-wide
+  // onto independent min accumulators. mul_[i]/xor_[i] load once per
+  // permutation instead of once per (shingle, permutation) pair, and the
+  // four hash chains overlap their multiply latency. min is commutative and
+  // associative, so the folded result equals the reference loop exactly.
+  const size_t batch_end = shingles.size() & ~size_t{3};
+  for (size_t i = 0; i < num_perm_; ++i) {
+    const uint64_t mul = mul_[i];
+    const uint64_t xr = xor_[i];
+    uint64_t m0 = std::numeric_limits<uint64_t>::max();
+    uint64_t m1 = m0, m2 = m0, m3 = m0;
+    for (size_t s = 0; s < batch_end; s += 4) {
+      uint64_t h0 = (shingles[s] ^ xr) * mul;
+      uint64_t h1 = (shingles[s + 1] ^ xr) * mul;
+      uint64_t h2 = (shingles[s + 2] ^ xr) * mul;
+      uint64_t h3 = (shingles[s + 3] ^ xr) * mul;
+      h0 ^= h0 >> 29;
+      h1 ^= h1 >> 29;
+      h2 ^= h2 >> 29;
+      h3 ^= h3 >> 29;
+      m0 = std::min(m0, h0);
+      m1 = std::min(m1, h1);
+      m2 = std::min(m2, h2);
+      m3 = std::min(m3, h3);
+    }
+    uint64_t m = std::min(std::min(m0, m1), std::min(m2, m3));
+    for (size_t s = batch_end; s < shingles.size(); ++s) {
+      uint64_t h = (shingles[s] ^ xr) * mul;
+      h ^= h >> 29;
+      m = std::min(m, h);
+    }
+    sig[i] = m;
   }
   return sig;
 }

@@ -460,10 +460,15 @@ TEST(BenchDiffTest, DirectionHeuristic) {
             MetricDirection::kHigherIsBetter);
   EXPECT_EQ(GuessDirection("rows_per_sec"),
             MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(GuessDirection("checks_ok"), MetricDirection::kHigherIsBetter);
+  // Environment metrics describe the host/run, not performance: a bench
+  // from a box with fewer threads or a different kernel level must not
+  // read as a regression.
   EXPECT_EQ(GuessDirection("determinism_ok"),
-            MetricDirection::kHigherIsBetter);
+            MetricDirection::kInformational);
   EXPECT_EQ(GuessDirection("hardware_threads"),
             MetricDirection::kInformational);
+  EXPECT_EQ(GuessDirection("simd_level"), MetricDirection::kInformational);
 }
 
 TEST(BenchDiffTest, SelfCompareHasNoRegression) {

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # One-shot hygiene gate: sanitized build, full test suite (with lock-order
-# inversions fatal), a --Werror lint pass plus plan-explain over every
+# inversions fatal, then re-run with DJ_FORCE_SCALAR=1 so the SWAR/SIMD
+# kernels' scalar twins carry the whole suite), a --Werror lint pass plus
+# plan-explain over every
 # shipped recipe, a clang-tidy/cppcheck static-analysis pass (skipped with a
 # notice when the tools are absent), a Clang -Wthread-safety build of the
 # DJ_GUARDED_BY annotations (skipped when clang++ is absent), an
@@ -31,6 +33,15 @@ cmake --build "${build_dir}" -j
 
 echo "== test (lock-order inversions fatal) =="
 DJ_LOCK_ORDER=fatal ctest --test-dir "${build_dir}" --output-on-failure -j4
+
+echo "== test again with kernels pinned scalar (DJ_FORCE_SCALAR=1) =="
+# The whole suite must pass with the SWAR/SIMD data-plane kernels disabled:
+# the scalar twins are the reference semantics, and every path that
+# dispatches into the kernel library has to be byte-identical either way
+# (tests/swar_test.cc checks the kernels differentially; this pass checks
+# everything built on top of them).
+DJ_FORCE_SCALAR=1 DJ_LOCK_ORDER=fatal \
+  ctest --test-dir "${build_dir}" --output-on-failure -j4
 
 echo "== lint shipped recipes (--Werror) =="
 "${build_dir}/tools/dj_lint" --Werror "${repo_dir}"/configs/recipes/*.yaml
@@ -94,7 +105,7 @@ echo "== binary container round-trip (.djds.djlz at --np 4) =="
 # Same recipe, same input, but exported through the compressed binary
 # container; a passthrough recipe then imports it back to JSONL. The result
 # must be byte-identical to the plain JSONL export above — this exercises
-# the sharded DJDS v2 codec and block-parallel djlz end to end with a
+# the sharded DJDS v3 codec and block-parallel djlz end to end with a
 # 4-worker pool.
 "${build_dir}/tools/dj_process" \
   --recipe "${repo_dir}/configs/recipes/minimal_dedup.yaml" \
@@ -214,7 +225,8 @@ cmake -B "${tsan_dir}" -S "${repo_dir}" \
   -DDJ_SANITIZE=thread
 cmake --build "${tsan_dir}" -j --target \
   core_test dist_test obs_test data_test io_parallel_test compress_test \
-  fault_test concurrency_test
+  fault_test concurrency_test swar_test
+"${tsan_dir}/tests/swar_test"
 "${tsan_dir}/tests/concurrency_test"
 "${tsan_dir}/tests/core_test"
 "${tsan_dir}/tests/dist_test"
