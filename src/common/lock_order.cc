@@ -6,6 +6,9 @@
 
 #include "common/logging.h"
 
+// srclint-allow-file(raw-mutex): the concurrency toolkit runs underneath
+// dj::Mutex (which instruments through it); wrapping would recurse.
+
 namespace dj {
 namespace {
 
@@ -110,6 +113,7 @@ LockOrderRegistry::Mode LockOrderRegistry::InitFromEnv() {
   if (const char* env = std::getenv("DJ_LOCK_ORDER");
       env != nullptr && env[0] != '\0') {
     if (!ParseMode(env, &mode)) {
+      // srclint-allow(raw-output): env-var parse failure precedes logger setup
       std::fprintf(stderr,
                    "DJ_LOCK_ORDER: unknown mode '%s' "
                    "(expected off, on, or fatal)\n",
@@ -255,6 +259,7 @@ void LockOrderRegistry::OnAcquire(const void* mutex, const char* name) {
     DJ_LOG(Error) << inversion.ToString();
     if (on_inversion) on_inversion(inversion);
     if (current_mode == Mode::kFatal) {
+      // srclint-allow(raw-output): final message on the abort path must not allocate through the logger
       std::fprintf(stderr, "%s\nDJ_LOCK_ORDER=fatal: aborting\n",
                    inversion.ToString().c_str());
       std::abort();

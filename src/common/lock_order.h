@@ -10,6 +10,9 @@
 #include <string_view>
 #include <vector>
 
+// srclint-allow-file(raw-mutex): the concurrency toolkit runs underneath
+// dj::Mutex (which instruments through it); wrapping would recurse.
+
 namespace dj {
 
 /// Dynamic lock-order (deadlock-potential) detection for dj::Mutex, in the

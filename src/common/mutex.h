@@ -44,6 +44,7 @@ class DJ_CAPABILITY("mutex") Mutex {
   Mutex& operator=(const Mutex&) = delete;
 
   void Lock() DJ_ACQUIRE() {
+    // srclint-allow(dynamic-name): the sched point is named per lock class
     DJ_SCHED_POINT(name_);
     mu_.lock();
     LockOrderRegistry::Global().OnAcquire(this, name_);

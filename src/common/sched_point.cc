@@ -8,6 +8,9 @@
 #include "common/hash.h"
 #include "common/string_util.h"
 
+// srclint-allow-file(raw-mutex): the concurrency toolkit runs underneath
+// dj::Mutex (which instruments through it); wrapping would recurse.
+
 namespace dj::sched {
 namespace {
 
@@ -41,6 +44,7 @@ bool SchedRegistry::InitFromEnv() {
   }
   Status status = Configure(spec);
   if (!status.ok()) {
+    // srclint-allow(raw-output): config errors must reach the user even when logging is the thing misconfigured
     std::fprintf(stderr, "DJ_SCHED error: %s\n", status.ToString().c_str());
     state_.store(0, std::memory_order_relaxed);
     return false;

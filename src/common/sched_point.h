@@ -12,6 +12,9 @@
 #include "common/random.h"
 #include "common/status.h"
 
+// srclint-allow-file(raw-mutex): the concurrency toolkit runs underneath
+// dj::Mutex (which instruments through it); wrapping would recurse.
+
 namespace dj::sched {
 
 /// Seeded schedule-perturbation probes, the scheduling twin of the

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 
+// srclint-allow-file(raw-mutex): the concurrency toolkit runs underneath
+// dj::Mutex (which instruments through it); wrapping would recurse.
+
 namespace dj::introspect {
 namespace {
 

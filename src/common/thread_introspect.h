@@ -9,6 +9,9 @@
 #include <string_view>
 #include <vector>
 
+// srclint-allow-file(raw-mutex): the concurrency toolkit runs underneath
+// dj::Mutex (which instruments through it); wrapping would recurse.
+
 namespace dj::introspect {
 
 /// Cross-thread introspection substrate for the sampling profiler and the

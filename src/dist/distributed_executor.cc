@@ -122,6 +122,11 @@ Result<data::Dataset> DistributedExecutor::Run(
   const uint64_t base_ts =
       options_.spans != nullptr ? options_.spans->NowMicros() : 0;
   double cursor = 0;
+  // Lane span names are assembled per shard/segment; the families are:
+  // srclint-declare(span): sched:*
+  // srclint-declare(span): load:*
+  // srclint-declare(span): seg*
+  // srclint-declare(span): backoff:*
   auto emit_lane = [&](const std::string& name, int64_t lane, double start_s,
                        double dur_s) {
     if (options_.spans == nullptr) return;

@@ -11,6 +11,7 @@ constexpr double kMiB = 1024.0 * 1024.0;
 uint64_t CounterValueOr(const MetricsRegistry* metrics, std::string_view name,
                         uint64_t def) {
   if (metrics == nullptr) return def;
+  // srclint-allow(dynamic-name): pass-through lookup helper; callers name the counter
   const Counter* c = metrics->FindCounter(name);
   return c == nullptr ? def : c->value();
 }

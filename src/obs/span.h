@@ -115,6 +115,7 @@ class Span {
   }
   ~Span() {
     if (recorder_ != nullptr) {
+      // srclint-allow(dynamic-name): forwards the name captured at the Span constructor site
       recorder_->EmitComplete(name_, category_, start_,
                               recorder_->NowMicros() - start_);
     }

@@ -190,6 +190,7 @@ void Watchdog::PollOnce(uint64_t now_micros) {
     }
   }
 
+  // srclint-allow(raw-output): stall dumps must bypass the (possibly stalled) logger
   std::fputs(dump.c_str(), stderr);
   std::fflush(stderr);
   stall_count_.fetch_add(stalled.size(), std::memory_order_relaxed);

@@ -1,0 +1,99 @@
+#ifndef DJ_SRCLINT_ANALYZER_H_
+#define DJ_SRCLINT_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "json/value.h"
+#include "srclint/layering.h"
+#include "srclint/manifest.h"
+
+namespace dj::srclint {
+
+/// Same severity model as dj_lint: errors always gate, warnings gate under
+/// --Werror, notes never gate.
+enum class Severity { kError, kWarning, kNote };
+
+const char* SeverityName(Severity severity);
+
+/// One analyzer finding. `check` is the stable check id findings are
+/// allowlisted by ("raw-mutex", "layering", "manifest-drift", ...).
+struct Finding {
+  Severity severity = Severity::kError;
+  std::string check;
+  std::string file;  // repo-relative; "" for tree-wide findings
+  int line = 0;      // 0 when no single line applies
+  std::string message;
+  std::string hint;
+
+  std::string ToString() const;
+  json::Value ToJson() const;
+};
+
+/// Full analysis result: findings plus the manifest computed from the tree
+/// (what --update-manifest writes).
+struct Report {
+  std::vector<Finding> findings;
+  Manifest manifest;
+  int errors = 0;
+  int warnings = 0;
+  int notes = 0;
+
+  void Add(Finding finding);
+  bool Clean(bool warnings_as_errors) const;
+  json::Value ToJson() const;
+};
+
+/// One source file, path repo-relative with forward slashes
+/// ("src/obs/span.h").
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// Everything Analyze() looks at, decoupled from the filesystem so tests
+/// can build fixture trees in memory.
+struct SourceTree {
+  std::vector<SourceFile> files;  // sorted by path
+  std::string manifest_path = "srclint/manifest.json";
+  bool has_manifest = false;
+  std::string manifest_text;
+  bool has_robustness = false;
+  std::string robustness_doc;  // docs/robustness.md
+  bool has_observability = false;
+  std::string observability_doc;  // docs/observability.md
+};
+
+/// Loads the real tree: every .h/.cc under <root>/src (sorted), the
+/// committed manifest, and the two coverage docs.
+Result<SourceTree> LoadSourceTree(const std::string& root);
+
+struct AnalyzeOptions {
+  /// Layering policy; null means LayerPolicy::Default().
+  const LayerPolicy* policy = nullptr;
+  /// "YYYY-MM-DD" for srclint-allow expiry; "" disables expiry checking.
+  std::string today;
+  /// Check fault-point / metric-family doc coverage.
+  bool check_docs = true;
+  /// Check drift against the committed manifest.
+  bool check_manifest = true;
+  /// Per-check built-in allowlists (path -> may violate check). When null,
+  /// DefaultFileAllowlist() applies.
+  const std::vector<std::pair<std::string, std::string>>* file_allowlist =
+      nullptr;  // (check, path) pairs
+};
+
+/// The project's built-in exceptions: the mutex wrapper may use std::mutex,
+/// the logging sink may write to stderr.
+const std::vector<std::pair<std::string, std::string>>& DefaultFileAllowlist();
+
+/// Runs every check over the tree and computes its manifest.
+Report Analyze(const SourceTree& tree, const AnalyzeOptions& options);
+
+/// Local date as "YYYY-MM-DD" (for AnalyzeOptions::today).
+std::string TodayString();
+
+}  // namespace dj::srclint
+
+#endif  // DJ_SRCLINT_ANALYZER_H_

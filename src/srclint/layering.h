@@ -1,0 +1,63 @@
+#ifndef DJ_SRCLINT_LAYERING_H_
+#define DJ_SRCLINT_LAYERING_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dj::srclint {
+
+/// Declared layering DAG for the source tree: each layer (top-level
+/// directory under src/) lists the layers it may #include. Including your
+/// own layer is always legal and never listed. The default policy is the
+/// project's architecture; tests build small custom policies.
+class LayerPolicy {
+ public:
+  struct Entry {
+    std::string layer;
+    std::vector<std::string> allowed;
+  };
+
+  LayerPolicy() = default;
+  explicit LayerPolicy(std::vector<Entry> entries);
+
+  /// The committed architecture of this repository (see DESIGN.md's
+  /// layering table, which mirrors this).
+  static const LayerPolicy& Default();
+
+  bool Knows(std::string_view layer) const;
+  /// True when `from` may include `to`. Unknown layers return false —
+  /// callers report those separately.
+  bool Allowed(std::string_view from, std::string_view to) const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  const Entry* Find(std::string_view layer) const;
+  std::vector<Entry> entries_;  // sorted by layer
+};
+
+/// Layer of a repo-relative path: "src/obs/span.h" -> "obs". Empty when the
+/// path is not of the form src/<layer>/...
+std::string LayerOfPath(std::string_view path);
+
+/// Layer of a quoted include path: "obs/span.h" -> "obs". Empty when the
+/// include has no directory component.
+std::string LayerOfInclude(std::string_view include_path);
+
+/// One observed layer dependency edge (deduplicated; first occurrence).
+struct LayerEdge {
+  std::string from;
+  std::string to;
+  std::string file;  // file whose #include created the edge
+  int line = 0;
+  std::string include;  // the included path as written
+};
+
+/// Finds cycles in the observed layer graph. Each returned string is one
+/// cycle rendered "a -> b -> a". Deterministic for a sorted edge list.
+std::vector<std::string> FindLayerCycles(const std::vector<LayerEdge>& edges);
+
+}  // namespace dj::srclint
+
+#endif  // DJ_SRCLINT_LAYERING_H_

@@ -1,0 +1,13 @@
+#ifndef FIXTURE_COMMON_UTIL_H_
+#define FIXTURE_COMMON_UTIL_H_
+
+// Illegal edge: common is the bottom layer and may include nothing above
+// it. Together with json/value.h's (legal) include of this header it also
+// forms an include cycle common -> json -> common.
+#include "json/value.h"
+
+inline long FixtureSeed() {
+  return time(nullptr);  // banned: wall-clock in determinism-sensitive code
+}
+
+#endif  // FIXTURE_COMMON_UTIL_H_

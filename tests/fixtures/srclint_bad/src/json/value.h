@@ -1,0 +1,10 @@
+#ifndef FIXTURE_JSON_VALUE_H_
+#define FIXTURE_JSON_VALUE_H_
+
+#include "common/util.h"
+
+inline int FixtureNoise() {
+  return rand();  // banned: global RNG
+}
+
+#endif  // FIXTURE_JSON_VALUE_H_

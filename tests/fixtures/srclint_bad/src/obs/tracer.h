@@ -1,0 +1,33 @@
+#ifndef FIXTURE_OBS_TRACER_H_
+#define FIXTURE_OBS_TRACER_H_
+
+#include <iostream>
+#include <mutex>
+#include <string>
+
+struct FixtureRecorder {
+  void EmitComplete(const std::string& name, const char* cat, int ts,
+                    int dur);
+};
+
+struct FixtureTracer {
+  // Expired allow: the waiver lapsed, so raw-mutex fires again plus an
+  // allow-expired warning.
+  // srclint-allow(raw-mutex until 2020-01-01): migration to dj::Mutex pending
+  std::mutex mu_;
+
+  // Unused allow: nothing on the next line violates raw-output.
+  // srclint-allow(raw-output): stale annotation
+  int unused_allow_anchor_ = 0;
+
+  void Fail() {
+    std::cerr << "banned stream write\n";
+    if (DJ_FAULT("fixture.undocumented.fault")) return;
+  }
+
+  void Emit(FixtureRecorder* r, const std::string& dynamic) {
+    r->EmitComplete(dynamic, "fixture", 0, 1);  // dynamic span, no declare
+  }
+};
+
+#endif  // FIXTURE_OBS_TRACER_H_

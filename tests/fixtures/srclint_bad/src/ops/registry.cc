@@ -1,0 +1,10 @@
+#include "obs/tracer.h"
+
+struct FixtureRegistry {
+  void Register(const char* name, int factory);
+};
+
+void RegisterFixtureOps(FixtureRegistry* r) {
+  // No *Schemas()/*Effects() function anywhere declares this OP.
+  r->Register("orphan_op", 0);
+}

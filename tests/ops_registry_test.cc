@@ -114,6 +114,10 @@ TEST(OpRegistryTest, ReRegisterReplaces) {
 
 // -------------------------------------------------------------- schemas --
 
+// dj_srclint's op-schema/op-effects checks gate the same coverage
+// statically (every Register call must have matching *Schemas()/*Effects()
+// strings); this runtime test stays as belt-and-braces — it also proves the
+// declarations actually reach the registry at startup.
 TEST(OpSchemaTest, EveryBuiltinOpDeclaresASchema) {
   const OpRegistry& registry = OpRegistry::Global();
   for (const std::string& name : registry.Names()) {

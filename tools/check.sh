@@ -1,17 +1,31 @@
 #!/usr/bin/env bash
-# One-shot hygiene gate: sanitized build, full test suite (with lock-order
-# inversions fatal, then re-run with DJ_FORCE_SCALAR=1 so the SWAR/SIMD
-# kernels' scalar twins carry the whole suite), a --Werror lint pass plus
-# plan-explain over every
-# shipped recipe, a clang-tidy/cppcheck static-analysis pass (skipped with a
-# notice when the tools are absent), a Clang -Wthread-safety build of the
-# DJ_GUARDED_BY annotations (skipped when clang++ is absent), an
-# observability smoke-gate (trace + metrics JSON round-trip, a profiled run
-# validated with --require-profile, an injected-stall watchdog dump, and
-# the dj_bench_diff perf-regression gate incl. its must-fail self-test),
-# and a ThreadSanitizer pass over the concurrency-heavy tests — re-run
-# under three seeds of schedule perturbation (DJ_SCHED) to shake the
-# interleavings.
+# One-shot hygiene gate. Stages, in order:
+#   1. configure + build      ASan+UBSan, -Werror
+#   2. ctest                  full suite, lock-order inversions fatal
+#   3. ctest (scalar)         re-run with DJ_FORCE_SCALAR=1 so the SWAR/SIMD
+#                             kernels' scalar twins carry the whole suite
+#   4. recipe lint            dj_lint --Werror + plan-explain over every
+#                             shipped recipe (no REFUSED plans)
+#   5. source lint            dj_srclint --Werror over the tree, a manifest
+#                             regeneration determinism check (regenerate to a
+#                             temp file, must be byte-identical to the
+#                             committed srclint/manifest.json), and a
+#                             must-fail self-test against the seeded
+#                             violations in tests/fixtures/srclint_bad/
+#   6. thread-safety build    clang -Wthread-safety of the DJ_GUARDED_BY
+#                             annotations (skipped when clang++ is absent)
+#   7. static analysis        clang-tidy / cppcheck (skipped when absent)
+#   8. observability smoke    trace + metrics round-trip — dj_trace_check
+#                             validates every span/instant/metric name
+#                             against srclint/manifest.json — plus the
+#                             binary-container round-trip, the fault-matrix
+#                             crash/resume smoke, a profiled run
+#                             (--require-profile), an injected-stall
+#                             watchdog dump, and the dj_bench_diff
+#                             perf-regression gate incl. its must-fail
+#                             self-test
+#   9. TSan                   concurrency-heavy tests, then re-run under
+#                             three seeds of schedule perturbation (DJ_SCHED)
 # Run from anywhere inside the repo.
 #
 # Usage: tools/check.sh [build-dir]   (default: build-check)
@@ -52,6 +66,33 @@ explain_out="$("${build_dir}/tools/dj_lint" --explain-plan \
 if grep -q "REFUSED" <<< "${explain_out}"; then
   echo "${explain_out}"
   echo "check.sh: a shipped recipe's optimized plan was refused" >&2
+  exit 1
+fi
+
+echo "== source lint (dj_srclint --Werror) =="
+"${build_dir}/tools/dj_srclint" --root "${repo_dir}" --Werror
+
+echo "== srclint manifest regeneration is deterministic and committed =="
+srclint_tmp="$(mktemp)"
+"${build_dir}/tools/dj_srclint" --root "${repo_dir}" \
+  --manifest "${srclint_tmp}" --update-manifest
+if ! cmp -s "${srclint_tmp}" "${repo_dir}/srclint/manifest.json"; then
+  diff -u "${repo_dir}/srclint/manifest.json" "${srclint_tmp}" >&2 || true
+  rm -f "${srclint_tmp}"
+  echo "check.sh: srclint/manifest.json is stale; run" \
+       "dj_srclint --update-manifest and commit the result" >&2
+  exit 1
+fi
+rm -f "${srclint_tmp}"
+
+echo "== srclint must-fail self-test (seeded violations) =="
+srclint_bad_rc=0
+"${build_dir}/tools/dj_srclint" \
+  --root "${repo_dir}/tests/fixtures/srclint_bad" --Werror \
+  > /dev/null || srclint_bad_rc=$?
+if [ "${srclint_bad_rc}" -ne 1 ]; then
+  echo "check.sh: dj_srclint expected exit 1 on the seeded fixture," \
+       "got ${srclint_bad_rc}" >&2
   exit 1
 fi
 
@@ -99,6 +140,7 @@ done > "${smoke_dir}/in.jsonl"
   --trace-out "${smoke_dir}/trace.json" \
   --metrics-out "${smoke_dir}/metrics.json"
 "${build_dir}/tools/dj_trace_check" --require-io-spans \
+  --manifest "${repo_dir}/srclint/manifest.json" \
   "${smoke_dir}/trace.json" "${smoke_dir}/metrics.json"
 
 echo "== binary container round-trip (.djds.djlz at --np 4) =="

@@ -1,0 +1,151 @@
+// dj_srclint: project-invariant static analyzer over the repo's own C++
+// sources. Token-level and dependency-free, it extracts every stringly
+// named invariant (fault/sched points, metric/span/instant/lock-class
+// names, OP registrations) into an instrumentation manifest, gates drift
+// against the committed srclint/manifest.json, enforces the declared
+// layering DAG for src/, and runs banned-API checks with inline
+// srclint-allow annotations. See docs/linting.md for the check catalog.
+//
+// Usage:
+//   dj_srclint [--root DIR] [--manifest PATH] [--update-manifest]
+//              [--json] [--strict|--Werror] [--no-docs]
+//
+//   --root DIR        repo root to analyze (default ".")
+//   --manifest PATH   committed manifest location (default
+//                     <root>/srclint/manifest.json)
+//   --update-manifest regenerate the manifest from the tree and write it
+//                     to the manifest path (drift check skipped)
+//   --no-docs         skip the doc-coverage checks (doc-fault, doc-metric)
+//
+// Exit codes:
+//   0  clean (warnings and notes allowed; with --strict/--Werror,
+//      warnings also fail)
+//   1  findings
+//   2  usage error, or the tree/manifest could not be read or written
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/file_util.h"
+#include "json/writer.h"
+#include "srclint/analyzer.h"
+
+namespace {
+
+struct Args {
+  std::string root = ".";
+  std::string manifest;  // empty = <root>/srclint/manifest.json
+  bool update_manifest = false;
+  bool json = false;
+  bool strict = false;
+  bool docs = true;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root DIR] [--manifest PATH] [--update-manifest] "
+               "[--json] [--strict|--Werror] [--no-docs]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--json") {
+      args->json = true;
+    } else if (flag == "--strict" || flag == "--Werror") {
+      args->strict = true;
+    } else if (flag == "--update-manifest") {
+      args->update_manifest = true;
+    } else if (flag == "--no-docs") {
+      args->docs = false;
+    } else if (flag == "--root" && i + 1 < argc) {
+      args->root = argv[++i];
+    } else if (flag == "--manifest" && i + 1 < argc) {
+      args->manifest = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+
+  auto tree = dj::srclint::LoadSourceTree(args.root);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "dj_srclint: %s\n",
+                 tree.status().ToString().c_str());
+    return 2;
+  }
+  std::string manifest_path = args.manifest.empty()
+                                  ? args.root + "/srclint/manifest.json"
+                                  : args.manifest;
+  if (!args.manifest.empty()) {
+    // LoadSourceTree read the default location; honor the override.
+    tree.value().manifest_path = args.manifest;
+    tree.value().has_manifest = false;
+    tree.value().manifest_text.clear();
+    std::error_code ec;
+    if (std::filesystem::exists(args.manifest, ec)) {
+      auto text = dj::ReadFileToString(args.manifest);
+      if (!text.ok()) {
+        std::fprintf(stderr, "dj_srclint: %s\n",
+                     text.status().ToString().c_str());
+        return 2;
+      }
+      tree.value().has_manifest = true;
+      tree.value().manifest_text = std::move(text).value();
+    }
+  }
+
+  dj::srclint::AnalyzeOptions options;
+  options.today = dj::srclint::TodayString();
+  options.check_docs = args.docs;
+  options.check_manifest = !args.update_manifest;
+  dj::srclint::Report report = dj::srclint::Analyze(tree.value(), options);
+
+  if (args.update_manifest) {
+    dj::Status write = dj::WriteStringToFileAtomic(
+        manifest_path, report.manifest.ToText());
+    if (!write.ok()) {
+      std::fprintf(stderr, "dj_srclint: writing %s: %s\n",
+                   manifest_path.c_str(), write.ToString().c_str());
+      return 2;
+    }
+    if (!args.json) {
+      std::printf("dj_srclint: wrote %s\n", manifest_path.c_str());
+    }
+  }
+
+  if (args.json) {
+    dj::json::Value body = report.ToJson();
+    body.as_object().Set("files",
+                         static_cast<int64_t>(tree.value().files.size()));
+    body.as_object().Set(
+        "ok", dj::json::Value(report.Clean(args.strict)));
+    dj::json::WriteOptions pretty{.pretty = true};
+    std::printf("%s\n", dj::json::Write(body, pretty).c_str());
+  } else {
+    for (const dj::srclint::Finding& f : report.findings) {
+      std::printf("%s\n", f.ToString().c_str());
+    }
+    if (report.findings.empty()) {
+      std::printf("dj_srclint: clean (%zu files)\n",
+                  tree.value().files.size());
+    } else {
+      std::printf("dj_srclint: %d error(s), %d warning(s), %d note(s) over "
+                  "%zu files\n",
+                  report.errors, report.warnings, report.notes,
+                  tree.value().files.size());
+    }
+  }
+  return report.Clean(args.strict) ? 0 : 1;
+}

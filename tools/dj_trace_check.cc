@@ -5,7 +5,8 @@
 // on.
 //
 // Usage: dj_trace_check [--require-io-spans] [--require-fault-instants]
-//                       [--require-profile] trace.json metrics.json
+//                       [--require-profile] [--manifest manifest.json]
+//                       trace.json metrics.json
 // Exits 0 when both are valid; prints the first violation and exits 1
 // otherwise. With --require-io-spans, the trace must also carry at least
 // one "io.*" span (parse/serialize/compress from the parallel data plane).
@@ -16,6 +17,11 @@
 // "watchdog:beat" instants (the sampling profiler and the stall watchdog
 // were demonstrably alive during the run) and metrics.json must carry a
 // "profile" object with at least one tick.
+// With --manifest, every span ('X'), instant ('i'), and counter-track ('C')
+// name in the trace and every metric key in metrics.json must be declared
+// in the srclint instrumentation manifest (exactly, or via a prefix entry
+// like "unit:*") — a typo'd name at an emit site otherwise produces
+// silently-unaggregated data.
 
 #include <cstdio>
 #include <string>
@@ -23,10 +29,13 @@
 #include "data/io.h"
 #include "json/parser.h"
 #include "json/value.h"
+#include "srclint/manifest.h"
 
 namespace {
 
 using dj::json::Value;
+using dj::srclint::Manifest;
+using dj::srclint::NameCovered;
 
 bool Fail(const char* file, const std::string& why) {
   std::fprintf(stderr, "dj_trace_check: %s: %s\n", file, why.c_str());
@@ -34,7 +43,8 @@ bool Fail(const char* file, const std::string& why) {
 }
 
 bool CheckTrace(const char* path, bool require_io_spans,
-                bool require_fault_instants, bool require_profile) {
+                bool require_fault_instants, bool require_profile,
+                const Manifest* manifest) {
   auto content = dj::data::ReadFile(path);
   if (!content.ok()) return Fail(path, content.status().ToString());
   auto parsed = dj::json::ParseStrict(content.value());
@@ -59,18 +69,34 @@ bool CheckTrace(const char* path, bool require_io_spans,
       }
     }
     const std::string& ph = e.as_object().Find("ph")->as_string();
+    const std::string& name = e.as_object().Find("name")->as_string();
     if (ph == "X") {
       if (!e.as_object().Contains("dur")) {
         return Fail(path, "complete event missing 'dur'");
       }
       ++complete_events;
-      const std::string& name = e.as_object().Find("name")->as_string();
       if (name.rfind("io.", 0) == 0) ++io_spans;
+      if (manifest != nullptr && !NameCovered(manifest->spans, name)) {
+        return Fail(path, "span '" + name +
+                              "' is not declared in the instrumentation "
+                              "manifest");
+      }
     } else if (ph == "i") {
-      const std::string& name = e.as_object().Find("name")->as_string();
       if (name.rfind("fault:", 0) == 0) ++fault_instants;
       if (name == "profile:tick") ++profile_ticks;
       if (name == "watchdog:beat") ++watchdog_beats;
+      if (manifest != nullptr && !NameCovered(manifest->instants, name)) {
+        return Fail(path, "instant '" + name +
+                              "' is not declared in the instrumentation "
+                              "manifest");
+      }
+    } else if (ph == "C") {
+      if (manifest != nullptr &&
+          !NameCovered(manifest->counter_series, name)) {
+        return Fail(path, "counter track '" + name +
+                              "' is not declared in the instrumentation "
+                              "manifest");
+      }
     }
   }
   if (complete_events == 0) {
@@ -104,7 +130,33 @@ bool CheckTrace(const char* path, bool require_io_spans,
   return true;
 }
 
-bool CheckMetrics(const char* path, bool require_profile) {
+bool CheckMetricNames(const char* path, const Value& metrics,
+                      const Manifest& manifest) {
+  struct SetPair {
+    const char* key;
+    const std::vector<std::string>* declared;
+  };
+  const SetPair pairs[] = {
+      {"counters", &manifest.counters},
+      {"gauges", &manifest.gauges},
+      {"histograms", &manifest.histograms},
+  };
+  for (const SetPair& p : pairs) {
+    const Value* section = metrics.as_object().Find(p.key);
+    if (section == nullptr || !section->is_object()) continue;
+    for (const auto& [name, unused] : section->as_object().entries()) {
+      if (!NameCovered(*p.declared, name)) {
+        return Fail(path, std::string(p.key) + " entry '" + name +
+                              "' is not declared in the instrumentation "
+                              "manifest");
+      }
+    }
+  }
+  return true;
+}
+
+bool CheckMetrics(const char* path, bool require_profile,
+                  const Manifest* manifest) {
   auto content = dj::data::ReadFile(path);
   if (!content.ok()) return Fail(path, content.status().ToString());
   auto parsed = dj::json::ParseStrict(content.value());
@@ -137,6 +189,13 @@ bool CheckMetrics(const char* path, bool require_profile) {
       !cache->as_object().Contains("misses")) {
     return Fail(path, "'cache' must carry hits/misses counters");
   }
+  if (manifest != nullptr) {
+    const Value* metrics = root.as_object().Find("metrics");
+    if (metrics == nullptr || !metrics->is_object()) {
+      return Fail(path, "'metrics' must be an object");
+    }
+    if (!CheckMetricNames(path, *metrics, *manifest)) return false;
+  }
   if (require_profile) {
     const Value* profile = root.as_object().Find("profile");
     if (profile == nullptr || !profile->is_object()) {
@@ -163,6 +222,7 @@ int main(int argc, char** argv) {
   bool require_io_spans = false;
   bool require_fault_instants = false;
   bool require_profile = false;
+  std::string manifest_path;
   int arg = 1;
   while (arg < argc) {
     std::string flag = argv[arg];
@@ -175,6 +235,9 @@ int main(int argc, char** argv) {
     } else if (flag == "--require-profile") {
       require_profile = true;
       ++arg;
+    } else if (flag == "--manifest" && arg + 1 < argc) {
+      manifest_path = argv[arg + 1];
+      arg += 2;
     } else {
       break;
     }
@@ -182,12 +245,31 @@ int main(int argc, char** argv) {
   if (argc - arg != 2) {
     std::fprintf(stderr,
                  "usage: %s [--require-io-spans] [--require-fault-instants] "
-                 "[--require-profile] trace.json metrics.json\n",
+                 "[--require-profile] [--manifest manifest.json] "
+                 "trace.json metrics.json\n",
                  argv[0]);
     return 2;
   }
+  Manifest manifest;
+  const Manifest* manifest_ptr = nullptr;
+  if (!manifest_path.empty()) {
+    auto content = dj::data::ReadFile(manifest_path);
+    if (!content.ok()) {
+      std::fprintf(stderr, "dj_trace_check: %s: %s\n", manifest_path.c_str(),
+                   content.status().ToString().c_str());
+      return 2;
+    }
+    auto parsed = Manifest::FromText(content.value());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "dj_trace_check: %s: %s\n", manifest_path.c_str(),
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    manifest = std::move(parsed).value();
+    manifest_ptr = &manifest;
+  }
   bool ok = CheckTrace(argv[arg], require_io_spans, require_fault_instants,
-                       require_profile);
-  ok = CheckMetrics(argv[arg + 1], require_profile) && ok;
+                       require_profile, manifest_ptr);
+  ok = CheckMetrics(argv[arg + 1], require_profile, manifest_ptr) && ok;
   return ok ? 0 : 1;
 }
